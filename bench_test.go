@@ -1,0 +1,701 @@
+// Package pds hosts the testing.B twins of the pdsbench experiments:
+// one benchmark (or pair, protocol vs baseline) per experiment E1–E10 in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package pds
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pds/internal/anon"
+	"pds/internal/embdb"
+	"pds/internal/flash"
+	"pds/internal/folder"
+	"pds/internal/folkis"
+	"pds/internal/gquery"
+	"pds/internal/kv"
+	"pds/internal/mcu"
+	"pds/internal/netsim"
+	"pds/internal/privcrypto"
+	"pds/internal/search"
+	"pds/internal/smc"
+	"pds/internal/sptemp"
+	"pds/internal/ssi"
+	"pds/internal/tseries"
+	"pds/internal/workload"
+)
+
+func benchGeometry() flash.Geometry {
+	return flash.Geometry{PageSize: 2048, PagesPerBlock: 64, Blocks: 1 << 15}
+}
+
+// --- E1: summary scan vs table scan ---------------------------------------
+
+type e1State struct {
+	tbl *embdb.Table
+	ix  *embdb.SelectIndex
+}
+
+var e1Once sync.Once
+var e1 e1State
+
+func e1Setup(b *testing.B) {
+	e1Once.Do(func() {
+		alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+		tbl := embdb.NewTable(alloc, "CUSTOMER", embdb.NewSchema(
+			embdb.Column{Name: "name", Type: embdb.Str},
+			embdb.Column{Name: "city", Type: embdb.Str},
+			embdb.Column{Name: "address", Type: embdb.Str},
+		))
+		ix, err := embdb.NewSelectIndex(tbl, "city")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pad := embdb.StrVal(string(make([]byte, 120)))
+		for i := 0; tbl.Pages() < 640; i++ {
+			city := fmt.Sprintf("city%03d", i%97)
+			if i%500 == 0 {
+				city = "Lyon"
+			}
+			rid, err := tbl.Insert(embdb.Row{
+				embdb.StrVal(fmt.Sprintf("Customer#%06d", i)), embdb.StrVal(city), pad,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ix.Add(embdb.StrVal(city), rid); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tbl.Flush()
+		ix.Flush()
+		e1 = e1State{tbl: tbl, ix: ix}
+	})
+}
+
+func BenchmarkE1SummaryScan(b *testing.B) {
+	e1Setup(b)
+	startIOs(e1.tbl.Chip())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e1.ix.Lookup(embdb.StrVal("Lyon")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, e1.tbl.Chip())
+}
+
+func BenchmarkE1TableScan(b *testing.B) {
+	e1Setup(b)
+	startIOs(e1.tbl.Chip())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e1.tbl.ScanFilter("city", embdb.StrVal("Lyon")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, e1.tbl.Chip())
+}
+
+func reportIOs(b *testing.B, chip *flash.Chip) {
+	s := chip.Stats()
+	b.ReportMetric(float64(s.PageReads)/float64(b.N), "pagereads/op")
+	chip.ResetStats()
+}
+
+// startIOs zeroes the chip counters so reportIOs sees only measured work.
+func startIOs(chip *flash.Chip) { chip.ResetStats() }
+
+// --- E2: reorganization ----------------------------------------------------
+
+func e2Index(b *testing.B, n int) (*embdb.SelectIndex, *flash.Allocator) {
+	alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+	tbl := embdb.NewTable(alloc, "T", embdb.NewSchema(embdb.Column{Name: "v", Type: embdb.Int}))
+	ix, err := embdb.NewSelectIndex(tbl, "v")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := embdb.IntVal(int64(i % (n / 10)))
+		rid, err := tbl.Insert(embdb.Row{v})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ix.Add(v, rid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ix.Flush()
+	return ix, alloc
+}
+
+func BenchmarkE2SequentialLookup(b *testing.B) {
+	ix, alloc := e2Index(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Lookup(embdb.IntVal(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, alloc.Chip())
+}
+
+func BenchmarkE2TreeLookup(b *testing.B) {
+	ix, alloc := e2Index(b, 20000)
+	tree, err := ix.Reorganize(16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc.Chip().ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.LookupValue(embdb.IntVal(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, alloc.Chip())
+}
+
+func BenchmarkE2Reorganize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix, _ := e2Index(b, 20000)
+		b.StartTimer()
+		tree, err := ix.Reorganize(16, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		tree.Drop()
+		b.StartTimer()
+	}
+}
+
+// --- E3: embedded search ----------------------------------------------------
+
+type e3State struct {
+	eng  *search.Engine
+	chip *flash.Chip
+}
+
+var e3Once sync.Once
+var e3 e3State
+
+func e3Setup(b *testing.B) {
+	e3Once.Do(func() {
+		chip := flash.NewChip(benchGeometry())
+		eng, err := search.NewEngine(flash.NewAllocator(chip), mcu.NewArena(0), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range workload.Documents(10000, 5000, 8, 7) {
+			if _, err := eng.AddDocument(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Flush()
+		e3 = e3State{eng: eng, chip: chip}
+	})
+}
+
+func BenchmarkE3SearchPipeline(b *testing.B) {
+	e3Setup(b)
+	kws := []string{"term00000", "term00001", "term00002"}
+	startIOs(e3.chip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e3.eng.Search(kws, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, e3.chip)
+}
+
+func BenchmarkE3SearchNaive(b *testing.B) {
+	e3Setup(b)
+	kws := []string{"term00000", "term00001", "term00002"}
+	startIOs(e3.chip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e3.eng.NaiveSearch(kws, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, e3.chip)
+}
+
+// --- E4: SPJ ---------------------------------------------------------------
+
+type e4State struct {
+	db   *embdb.DB
+	chip *flash.Chip
+}
+
+var e4Once sync.Once
+var e4 e4State
+
+func e4Setup(b *testing.B) {
+	e4Once.Do(func() {
+		alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+		db := embdb.NewDB(alloc, mcu.NewArena(0))
+		if err := workload.BuildStar(db, workload.StarScaleFactor(0.002), 11); err != nil {
+			b.Fatal(err)
+		}
+		db.Flush()
+		e4 = e4State{db: db, chip: alloc.Chip()}
+	})
+}
+
+func e4Query() embdb.StarQuery {
+	return embdb.StarQuery{
+		Root: "LINEITEM",
+		Conds: []embdb.Cond{
+			{Table: "CUSTOMER", Col: "mktsegment", Val: embdb.StrVal("HOUSEHOLD")},
+			{Table: "SUPPLIER", Col: "name", Val: embdb.StrVal("SUPPLIER-1")},
+		},
+		Project: []embdb.ColRef{
+			{Table: "CUSTOMER", Col: "name"},
+			{Table: "LINEITEM", Col: "qty"},
+		},
+	}
+}
+
+func BenchmarkE4SPJPipeline(b *testing.B) {
+	e4Setup(b)
+	startIOs(e4.chip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e4.db.ExecuteStar(e4Query())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rows.All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, e4.chip)
+}
+
+func BenchmarkE4SPJNaive(b *testing.B) {
+	e4Setup(b)
+	startIOs(e4.chip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e4.db.ExecuteStarNaive(e4Query()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, e4.chip)
+}
+
+// --- E5: write patterns ------------------------------------------------------
+
+func BenchmarkE5LogStructuredInsert(b *testing.B) {
+	alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+	tbl := embdb.NewTable(alloc, "t", embdb.NewSchema(embdb.Column{Name: "v", Type: embdb.Int}))
+	ix, err := embdb.NewSelectIndex(tbl, "v")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Add(embdb.IntVal(int64(i*7919%100000)), embdb.RowID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := alloc.Chip().Stats()
+	b.ReportMetric(float64(s.BlockErases)/float64(b.N), "erases/op")
+	b.ReportMetric(float64(s.PageWrites)/float64(b.N), "pagewrites/op")
+}
+
+func BenchmarkE5InPlaceInsert(b *testing.B) {
+	alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+	x := embdb.NewInPlaceIndex(alloc)
+	n := b.N
+	if n > 2000 {
+		n = 2000 // quadratic baseline; cap the structure size
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Insert(embdb.Key(embdb.IntVal(int64(i%n*7919%100000))), embdb.RowID(i%n)); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%n == 0 {
+			b.StopTimer()
+			if err := x.Drop(); err != nil {
+				b.Fatal(err)
+			}
+			x = embdb.NewInPlaceIndex(alloc)
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	s := alloc.Chip().Stats()
+	b.ReportMetric(float64(s.BlockErases)/float64(b.N), "erases/op")
+	b.ReportMetric(float64(s.PageWrites)/float64(b.N), "pagewrites/op")
+}
+
+// --- E6: global aggregation ---------------------------------------------------
+
+func benchKeyring(b *testing.B) *gquery.Keyring {
+	kr, err := gquery.KeyringFrom(make([]byte, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return kr
+}
+
+func BenchmarkE6SecureAgg(b *testing.B) {
+	parts := workload.Participants(200, 3, 42)
+	kr := benchKeyring(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := netsim.New()
+		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		if _, _, err := gquery.RunSecureAgg(net, srv, parts, kr, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6NoiseControlled(b *testing.B) {
+	parts := workload.Participants(200, 3, 42)
+	kr := benchKeyring(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := netsim.New()
+		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		if _, _, err := gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Histogram(b *testing.B) {
+	parts := workload.Participants(200, 3, 42)
+	kr := benchKeyring(b)
+	buckets, err := gquery.EquiDepthBuckets(workload.Diagnoses, nil, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := netsim.New()
+		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		if _, _, err := gquery.RunHistogram(net, srv, parts, kr, buckets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: SMC primitives ---------------------------------------------------------
+
+func BenchmarkE7SecureSum(b *testing.B) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := smc.SecureSum(vals, 1<<40, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var paillierOnce sync.Once
+var paillierKey *privcrypto.PaillierPrivateKey
+
+func benchPaillier(b *testing.B) *privcrypto.PaillierPrivateKey {
+	paillierOnce.Do(func() {
+		k, err := privcrypto.GeneratePaillier(512, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paillierKey = k
+	})
+	return paillierKey
+}
+
+func BenchmarkE7ScalarProduct(b *testing.B) {
+	sk := benchPaillier(b)
+	av := make([]int64, 50)
+	bv := make([]int64, 50)
+	for i := range av {
+		av[i], bv[i] = int64(i), int64(i%5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := smc.ScalarProduct(av, bv, sk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var rsaOnce sync.Once
+var rsaKey *privcrypto.RSAKey
+
+func BenchmarkE7Millionaire(b *testing.B) {
+	rsaOnce.Do(func() {
+		k, err := privcrypto.GenerateRSA(512, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rsaKey = k
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := smc.Millionaire(8, 9, 16, rsaKey); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7PaillierEncrypt(b *testing.B) {
+	pk := benchPaillier(b).Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.EncryptInt64(int64(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: anonymization -----------------------------------------------------------
+
+func BenchmarkE8Anonymize(b *testing.B) {
+	ds := workload.Census(2000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := anon.Anonymize(ds, anon.Params{K: 10, MaxSuppression: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !anon.VerifyKAnonymous(a.Records, 10) {
+			b.Fatal("not k-anonymous")
+		}
+	}
+}
+
+// --- E9: folder sync ----------------------------------------------------------------
+
+func BenchmarkE9FolderSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		replicas := []*folder.Replica{folder.NewReplica("patient")}
+		for j := 0; j < 8; j++ {
+			replicas = append(replicas, folder.NewReplica(fmt.Sprintf("prac-%d", j)))
+		}
+		for j, r := range replicas {
+			r.Put(fmt.Sprintf("doc-%d", j), "medical", []byte(r.Owner))
+		}
+		badge := folder.NewBadge("tour")
+		hops := 0
+		for !folder.Converged(replicas...) {
+			badge.Touch(replicas[hops%len(replicas)])
+			hops++
+		}
+	}
+}
+
+// --- E10: detection --------------------------------------------------------------------
+
+func BenchmarkE10Detection(b *testing.B) {
+	parts := workload.Participants(50, 3, 44)
+	kr := benchKeyring(b)
+	detected := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := netsim.New()
+		srv := ssi.New(net, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.05, Seed: int64(i)})
+		_, stats, _ := gquery.RunSecureAgg(net, srv, parts, kr, 32)
+		if stats.Detected {
+			detected++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(detected)/float64(b.N), "detectionrate")
+}
+
+// --- E12: key-value store --------------------------------------------------------------
+
+func BenchmarkE12KVGet(b *testing.B) {
+	alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+	s := kv.Open(alloc)
+	defer s.Close()
+	for i := 0; i < 10000; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("user/%05d", i%2500)), []byte("profile")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Flush()
+	startIOs(alloc.Chip())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get([]byte("user/01234")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, alloc.Chip())
+}
+
+func BenchmarkE12KVCompact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+		s := kv.Open(alloc)
+		for j := 0; j < 5000; j++ {
+			if err := s.Put([]byte(fmt.Sprintf("k%04d", j%1000)), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := s.Compact(16, 8); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// --- E13: time series --------------------------------------------------------------------
+
+func BenchmarkE13WindowAggregate(b *testing.B) {
+	alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+	s := tseries.New(alloc)
+	defer s.Drop()
+	for i := 0; i < 100000; i++ {
+		if err := s.Append(tseries.Point{T: int64(i), V: int64(i % 977)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Flush()
+	startIOs(alloc.Chip())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Window(25000, 75000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, alloc.Chip())
+}
+
+func BenchmarkE13WindowScanBaseline(b *testing.B) {
+	alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+	s := tseries.New(alloc)
+	defer s.Drop()
+	for i := 0; i < 100000; i++ {
+		if err := s.Append(tseries.Point{T: int64(i), V: int64(i % 977)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Flush()
+	startIOs(alloc.Chip())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScanWindow(25000, 75000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, alloc.Chip())
+}
+
+// --- E15: Folk-IS DTN --------------------------------------------------------------------
+
+func BenchmarkE15EpidemicRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim, err := folkis.NewSim(folkis.Config{
+			Nodes: 50, Locations: 25, BufferCap: 64,
+			Routing: folkis.Epidemic, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 25; j++ {
+			sim.Send(fmt.Sprintf("n%d", j), fmt.Sprintf("n%d", 49-j), nil)
+		}
+		sim.Run(100)
+		if sim.Stats().DeliveryRatio() < 0.9 {
+			b.Fatalf("delivery ratio %.2f", sim.Stats().DeliveryRatio())
+		}
+	}
+}
+
+// --- E14: privacy-preserving mining ------------------------------------------------------
+
+func BenchmarkE14AssociationRules(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	parties := make([][]smc.Transaction, 4)
+	for i := 0; i < 200; i++ {
+		var tx smc.Transaction
+		for item := int64(0); item < 8; item++ {
+			if rng.Float64() < 0.3 {
+				tx = append(tx, item)
+			}
+		}
+		if len(tx) == 0 {
+			tx = smc.Transaction{0}
+		}
+		parties[i%4] = append(parties[i%4], tx)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := smc.MineAssociationRules(parties, 0.2, 0.7, rand.New(rand.NewSource(8))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14KMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	parties := make([][][]int64, 4)
+	for i := 0; i < 200; i++ {
+		p := []int64{rng.Int63n(1000), rng.Int63n(1000)}
+		parties[i%4] = append(parties[i%4], p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := smc.KMeans(parties, 3, 5, rand.New(rand.NewSource(10))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E16: spatio-temporal store -----------------------------------------------------------
+
+func BenchmarkE16SpatioTemporalQuery(b *testing.B) {
+	alloc := flash.NewAllocator(flash.NewChip(benchGeometry()))
+	tr := sptemp.New(alloc)
+	defer tr.Drop()
+	rng := rand.New(rand.NewSource(31))
+	var x, y int64
+	var mid sptemp.Fix
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x += rng.Int63n(21) - 10
+		y += rng.Int63n(21) - 10
+		f := sptemp.Fix{T: int64(i), X: x, Y: y}
+		if i == n/2 {
+			mid = f
+		}
+		if err := tr.Append(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tr.Flush()
+	reg := sptemp.Region{MinX: mid.X - 100, MinY: mid.Y - 100, MaxX: mid.X + 100, MaxY: mid.Y + 100}
+	startIOs(alloc.Chip())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Query(n/2-1000, n/2+1000, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, alloc.Chip())
+}

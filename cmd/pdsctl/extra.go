@@ -1,0 +1,181 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pds/internal/kv"
+	"pds/internal/tseries"
+)
+
+// Extra shell commands: the key-value store, the time-series store, and
+// policy file management. The stores share the PDS's flash allocator —
+// heterogeneous personal data on one token, as Part I describes.
+
+func (s *shell) kvStore() *kv.Store {
+	if s.pds.kvs == nil {
+		s.pds.kvs = kv.Open(s.pds.p.Device.Alloc)
+	}
+	return s.pds.kvs
+}
+
+func (s *shell) series() *tseries.Series {
+	if s.pds.ts == nil {
+		s.pds.ts = tseries.New(s.pds.p.Device.Alloc)
+	}
+	return s.pds.ts
+}
+
+func (s *shell) cmdKV(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", errors.New("usage: kv put <k> <v> | get <k> | del <k> | compact")
+	}
+	st := s.kvStore()
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			return "", errors.New("usage: kv put <key> <value>")
+		}
+		if err := st.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			return "", err
+		}
+		return "ok", nil
+	case "get":
+		if len(args) != 2 {
+			return "", errors.New("usage: kv get <key>")
+		}
+		v, gs, err := st.Get([]byte(args[1]))
+		if errors.Is(err, kv.ErrNotFound) {
+			return "(not found)", nil
+		}
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s (probed %d key pages, %d false)", v, gs.KeyPages, gs.FalseProbes), nil
+	case "del":
+		if len(args) != 2 {
+			return "", errors.New("usage: kv del <key>")
+		}
+		if err := st.Delete([]byte(args[1])); err != nil {
+			return "", err
+		}
+		return "ok", nil
+	case "compact":
+		before := st.Pages()
+		if err := st.Compact(8, 4); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("compacted: %d -> %d pages, %d live keys", before, st.Pages(), st.Len()), nil
+	default:
+		return "", fmt.Errorf("unknown kv subcommand %q", args[0])
+	}
+}
+
+func (s *shell) cmdTS(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", errors.New("usage: ts append <t> <v> | window <t0> <t1> | downsample <t0> <t1> <width>")
+	}
+	ser := s.series()
+	atoi := func(v string) (int64, error) { return strconv.ParseInt(v, 10, 64) }
+	switch args[0] {
+	case "append":
+		if len(args) != 3 {
+			return "", errors.New("usage: ts append <t> <v>")
+		}
+		tv, err := atoi(args[1])
+		if err != nil {
+			return "", err
+		}
+		vv, err := atoi(args[2])
+		if err != nil {
+			return "", err
+		}
+		if err := ser.Append(tseries.Point{T: tv, V: vv}); err != nil {
+			return "", err
+		}
+		return "ok", nil
+	case "window":
+		if len(args) != 3 {
+			return "", errors.New("usage: ts window <t0> <t1>")
+		}
+		t0, err := atoi(args[1])
+		if err != nil {
+			return "", err
+		}
+		t1, err := atoi(args[2])
+		if err != nil {
+			return "", err
+		}
+		agg, ws, err := ser.Window(t0, t1)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("count=%d sum=%d min=%d max=%d avg=%.2f (summaries answered %d segments, read %d)",
+			agg.Count, agg.Sum, agg.Min, agg.Max, agg.Avg(), ws.SegmentsInside, ws.SegmentsRead), nil
+	case "downsample":
+		if len(args) != 4 {
+			return "", errors.New("usage: ts downsample <t0> <t1> <width>")
+		}
+		t0, _ := atoi(args[1])
+		t1, _ := atoi(args[2])
+		width, err := atoi(args[3])
+		if err != nil {
+			return "", err
+		}
+		buckets, err := ser.Downsample(t0, t1, width)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for i, agg := range buckets {
+			fmt.Fprintf(&b, "[%d,%d) count=%d sum=%d\n", t0+int64(i)*width, t0+int64(i+1)*width, agg.Count, agg.Sum)
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	default:
+		return "", fmt.Errorf("unknown ts subcommand %q", args[0])
+	}
+}
+
+func (s *shell) cmdPolicy(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", errors.New("usage: policy show | save <path> | load <path>")
+	}
+	switch args[0] {
+	case "show":
+		data, err := s.pds.p.Guard.Policy.Export()
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	case "save":
+		if len(args) != 2 {
+			return "", errors.New("usage: policy save <path>")
+		}
+		data, err := s.pds.p.Guard.Policy.Export()
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(args[1], data, 0o600); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("saved %d rules to %s", len(s.pds.p.Guard.Policy.Rules()), args[1]), nil
+	case "load":
+		if len(args) != 2 {
+			return "", errors.New("usage: policy load <path>")
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return "", err
+		}
+		n, err := s.pds.p.Guard.Policy.Import(data)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("loaded %d rules", n), nil
+	default:
+		return "", fmt.Errorf("unknown policy subcommand %q", args[0])
+	}
+}

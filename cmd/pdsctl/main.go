@@ -1,0 +1,77 @@
+// Command pdsctl is an interactive shell over a Personal Data Server:
+// create a token, index documents, load tables, query with the summary
+// scan, manage privacy policies and inspect the audit chain — all against
+// the simulated secure hardware.
+//
+// Usage:
+//
+//	pdsctl                      # interactive REPL
+//	pdsctl -c 'new alice; doc asthma:2; search asthma'
+//	echo "new alice" | pdsctl   # scripted via stdin
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	script := flag.String("c", "", "semicolon-separated commands to run and exit")
+	flag.Parse()
+
+	sh := newShell()
+	run := func(line string) bool {
+		out, err := sh.exec(line)
+		if errors.Is(err, errQuit) {
+			return false
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+		return true
+	}
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			if !run(strings.TrimSpace(line)) {
+				break
+			}
+		}
+		return
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("pdsctl — type `help` for commands")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		if interactive {
+			fmt.Print("pds> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		if !run(sc.Text()) {
+			break
+		}
+	}
+}
+
+// isTerminal reports whether stdin looks interactive (best effort without
+// importing syscall-specific packages).
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,470 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pds/internal/acl"
+	"pds/internal/core"
+	"pds/internal/embdb"
+	"pds/internal/kv"
+	"pds/internal/mcu"
+	"pds/internal/search"
+	"pds/internal/tseries"
+)
+
+// searchResult aliases the engine's result for the formatter.
+type searchResult = search.Result
+
+// shell interprets pdsctl commands against one in-memory PDS. It is
+// separated from main so tests can drive it line by line.
+type shell struct {
+	pds *PDSHandle
+}
+
+// PDSHandle wraps the live PDS plus shell-only state.
+type PDSHandle struct {
+	p   *core.PDS
+	kvs *kv.Store
+	ts  *tseries.Series
+}
+
+// errQuit signals a clean exit request.
+var errQuit = errors.New("quit")
+
+func newShell() *shell { return &shell{} }
+
+// exec runs one command line and returns its printable output.
+func (s *shell) exec(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	if cmd != "new" && cmd != "help" && cmd != "quit" && cmd != "exit" && s.pds == nil {
+		return "", errors.New("no PDS yet: run `new <owner> [profile]` first")
+	}
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "quit", "exit":
+		return "", errQuit
+	case "new":
+		return s.cmdNew(args)
+	case "doc":
+		return s.cmdDoc(args)
+	case "search":
+		return s.cmdSearch(args)
+	case "table":
+		return s.cmdTable(args)
+	case "index":
+		return s.cmdIndex(args)
+	case "insert":
+		return s.cmdInsert(args)
+	case "lookup":
+		return s.cmdLookup(args)
+	case "agg":
+		return s.cmdAgg(args)
+	case "allow", "deny":
+		return s.cmdRule(cmd == "allow", args)
+	case "as":
+		return s.cmdAs(args)
+	case "kv":
+		return s.cmdKV(args)
+	case "ts":
+		return s.cmdTS(args)
+	case "policy":
+		return s.cmdPolicy(args)
+	case "audit":
+		return s.cmdAudit()
+	case "stats":
+		return s.cmdStats()
+	default:
+		return "", fmt.Errorf("unknown command %q (try `help`)", cmd)
+	}
+}
+
+const helpText = `commands:
+  new <owner> [smartcard|microsd|sensor|large]   create the PDS
+  doc <term[:tf]>...                             index a document
+  search <keyword>... [top=N]                    owner full-text search
+  table <name> <col:int|str>...                  create a table
+  index <table> <col>                            create a selection index
+  insert <table> <value>...                      insert a row
+  lookup <table> <col> <value>                   indexed equality lookup
+  agg <count|sum|avg|min|max> <table> [col] [by=<col>]
+  allow|deny [subject=S] [role=R] [col=C] [action=read|write|share] [purpose=P]
+  as <subject> <role> <purpose> search <kw>...   visitor search (policy-checked)
+  kv put|get|del|compact ...                     key-value store on the token
+  ts append|window|downsample ...                time-series store on the token
+  policy show|save|load ...                      policy JSON management
+  audit                                          show & verify the audit chain
+  stats                                          device counters
+  quit`
+
+func (s *shell) cmdNew(args []string) (string, error) {
+	if len(args) < 1 {
+		return "", errors.New("usage: new <owner> [profile]")
+	}
+	profile := mcu.TestProfileLarge()
+	if len(args) > 1 {
+		switch args[1] {
+		case "smartcard":
+			profile = mcu.Smartcard()
+		case "microsd":
+			profile = mcu.SecureMicroSD()
+		case "sensor":
+			profile = mcu.SensorNode()
+		case "large":
+			profile = mcu.TestProfileLarge()
+		default:
+			return "", fmt.Errorf("unknown profile %q", args[1])
+		}
+	}
+	p, err := core.New(args[0], core.Config{Profile: profile})
+	if err != nil {
+		return "", err
+	}
+	if s.pds != nil {
+		if s.pds.kvs != nil {
+			s.pds.kvs.Close()
+		}
+		if s.pds.ts != nil {
+			s.pds.ts.Drop()
+		}
+		s.pds.p.Close()
+	}
+	s.pds = &PDSHandle{p: p}
+	return fmt.Sprintf("PDS %q ready on %s (%d KiB RAM, %d MiB flash)",
+		p.ID, p.Device.Profile.Name, p.Device.Profile.RAM>>10,
+		p.Device.Profile.Geometry.TotalBytes()>>20), nil
+}
+
+func (s *shell) cmdDoc(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", errors.New("usage: doc <term[:tf]>...")
+	}
+	terms := map[string]int{}
+	for _, a := range args {
+		term, tfs, found := strings.Cut(a, ":")
+		tf := 1
+		if found {
+			v, err := strconv.Atoi(tfs)
+			if err != nil || v < 1 {
+				return "", fmt.Errorf("bad term frequency %q", a)
+			}
+			tf = v
+		}
+		terms[term] = tf
+	}
+	id, err := s.pds.p.AddDocument(terms)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("doc %d indexed (%d terms)", id, len(terms)), nil
+}
+
+func parseSearchArgs(args []string) ([]string, int, error) {
+	topN := 10
+	var kws []string
+	for _, a := range args {
+		if v, ok := strings.CutPrefix(a, "top="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, 0, fmt.Errorf("bad top=%q", v)
+			}
+			topN = n
+			continue
+		}
+		kws = append(kws, a)
+	}
+	if len(kws) == 0 {
+		return nil, 0, errors.New("no keywords")
+	}
+	return kws, topN, nil
+}
+
+func (s *shell) cmdSearch(args []string) (string, error) {
+	kws, topN, err := parseSearchArgs(args)
+	if err != nil {
+		return "", err
+	}
+	res, err := s.pds.p.Docs.Search(kws, topN)
+	if err != nil {
+		return "", err
+	}
+	return formatResults(res), nil
+}
+
+func formatResults(res []searchResult) string {
+	if len(res) == 0 {
+		return "no results"
+	}
+	var b strings.Builder
+	for i, r := range res {
+		fmt.Fprintf(&b, "%2d. doc %-6d score %.4f\n", i+1, r.Doc, r.Score)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (s *shell) cmdTable(args []string) (string, error) {
+	if len(args) < 2 {
+		return "", errors.New("usage: table <name> <col:int|str>...")
+	}
+	var cols []embdb.Column
+	for _, a := range args[1:] {
+		name, typ, found := strings.Cut(a, ":")
+		if !found {
+			return "", fmt.Errorf("column %q needs a :int or :str type", a)
+		}
+		switch typ {
+		case "int":
+			cols = append(cols, embdb.Column{Name: name, Type: embdb.Int})
+		case "str":
+			cols = append(cols, embdb.Column{Name: name, Type: embdb.Str})
+		default:
+			return "", fmt.Errorf("unknown type %q", typ)
+		}
+	}
+	if _, err := s.pds.p.DB.CreateTable(args[0], embdb.NewSchema(cols...)); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("table %s created (%d columns)", args[0], len(cols)), nil
+}
+
+func (s *shell) cmdIndex(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", errors.New("usage: index <table> <col>")
+	}
+	if _, err := s.pds.p.DB.CreateIndex(args[0], args[1]); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("index on %s.%s created", args[0], args[1]), nil
+}
+
+// parseValue converts a literal to the column's type.
+func parseValue(c embdb.Column, lit string) (embdb.Value, error) {
+	if c.Type == embdb.Int {
+		n, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("column %s wants an int, got %q", c.Name, lit)
+		}
+		return embdb.IntVal(n), nil
+	}
+	return embdb.StrVal(lit), nil
+}
+
+func (s *shell) cmdInsert(args []string) (string, error) {
+	if len(args) < 2 {
+		return "", errors.New("usage: insert <table> <value>...")
+	}
+	t, err := s.pds.p.DB.Table(args[0])
+	if err != nil {
+		return "", err
+	}
+	schema := t.Schema()
+	if len(args)-1 != len(schema.Cols) {
+		return "", fmt.Errorf("%s has %d columns, got %d values", args[0], len(schema.Cols), len(args)-1)
+	}
+	row := make(embdb.Row, len(schema.Cols))
+	for i, c := range schema.Cols {
+		v, err := parseValue(c, args[i+1])
+		if err != nil {
+			return "", err
+		}
+		row[i] = v
+	}
+	rid, err := s.pds.p.DB.Insert(args[0], row)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("row %d inserted", rid), nil
+}
+
+func (s *shell) cmdLookup(args []string) (string, error) {
+	if len(args) != 3 {
+		return "", errors.New("usage: lookup <table> <col> <value>")
+	}
+	t, err := s.pds.p.DB.Table(args[0])
+	if err != nil {
+		return "", err
+	}
+	ci := t.Schema().ColIndex(args[1])
+	if ci < 0 {
+		return "", fmt.Errorf("no column %s.%s", args[0], args[1])
+	}
+	val, err := parseValue(t.Schema().Cols[ci], args[2])
+	if err != nil {
+		return "", err
+	}
+	ix, err := s.pds.p.DB.Index(args[0], args[1])
+	if err != nil {
+		return "", err
+	}
+	rids, st, err := ix.Lookup(val)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d rows (summary scan: %d summary pages, %d key pages, %d false reads)\n",
+		len(rids), st.SummaryPages, st.KeyPagesRead, st.FalseReads)
+	limit := len(rids)
+	if limit > 20 {
+		limit = 20
+	}
+	for _, rid := range rids[:limit] {
+		row, err := t.Get(rid)
+		if err != nil {
+			return "", err
+		}
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Fprintf(&b, "  [%d] %s\n", rid, strings.Join(parts, " | "))
+	}
+	if limit < len(rids) {
+		fmt.Fprintf(&b, "  ... %d more\n", len(rids)-limit)
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func (s *shell) cmdAgg(args []string) (string, error) {
+	if len(args) < 2 {
+		return "", errors.New("usage: agg <func> <table> [col] [by=<col>]")
+	}
+	var fn embdb.AggFunc
+	switch args[0] {
+	case "count":
+		fn = embdb.Count
+	case "sum":
+		fn = embdb.Sum
+	case "avg":
+		fn = embdb.Avg
+	case "min":
+		fn = embdb.Min
+	case "max":
+		fn = embdb.Max
+	default:
+		return "", fmt.Errorf("unknown aggregate %q", args[0])
+	}
+	q := embdb.AggQuery{Table: args[1], Func: fn}
+	for _, a := range args[2:] {
+		if v, ok := strings.CutPrefix(a, "by="); ok {
+			q.GroupBy = v
+		} else {
+			q.Col = a
+		}
+	}
+	res, err := s.pds.p.DB.Aggregate(q)
+	if err != nil {
+		return "", err
+	}
+	if len(res) == 0 {
+		return "empty result", nil
+	}
+	var b strings.Builder
+	for _, r := range res {
+		g := "(all)"
+		if r.Group != nil {
+			g = r.Group.String()
+		}
+		fmt.Fprintf(&b, "%-16s %s = %g (n=%d)\n", g, fn, r.Value, r.Count)
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func (s *shell) cmdRule(allow bool, args []string) (string, error) {
+	r := acl.Rule{Allow: allow}
+	for _, a := range args {
+		key, val, found := strings.Cut(a, "=")
+		if !found {
+			return "", fmt.Errorf("rule clause %q must be key=value", a)
+		}
+		switch key {
+		case "subject":
+			r.Subject = val
+		case "role":
+			r.Role = val
+		case "col", "collection":
+			r.Collection = val
+		case "purpose":
+			r.Purpose = val
+		case "action":
+			switch val {
+			case "read":
+				r.Action = acl.ActionP(acl.Read)
+			case "write":
+				r.Action = acl.ActionP(acl.Write)
+			case "share":
+				r.Action = acl.ActionP(acl.Share)
+			default:
+				return "", fmt.Errorf("unknown action %q", val)
+			}
+		default:
+			return "", fmt.Errorf("unknown rule clause %q", key)
+		}
+	}
+	s.pds.p.Guard.Policy.Add(r)
+	verb := "deny"
+	if allow {
+		verb = "allow"
+	}
+	return fmt.Sprintf("%s rule added (%d rules total)", verb, len(s.pds.p.Guard.Policy.Rules())), nil
+}
+
+func (s *shell) cmdAs(args []string) (string, error) {
+	if len(args) < 4 || args[3] != "search" {
+		return "", errors.New("usage: as <subject> <role> <purpose> search <kw>...")
+	}
+	kws, topN, err := parseSearchArgs(args[4:])
+	if err != nil {
+		return "", err
+	}
+	res, err := s.pds.p.SearchAs(args[0], args[1], args[2], kws, topN)
+	if err != nil {
+		if errors.Is(err, core.ErrDenied) {
+			return fmt.Sprintf("DENIED: %v", err), nil
+		}
+		return "", err
+	}
+	return formatResults(res), nil
+}
+
+func (s *shell) cmdAudit() (string, error) {
+	entries := s.pds.p.Guard.Audit.Entries()
+	var b strings.Builder
+	for _, e := range entries {
+		verdict := "DENY"
+		if e.Allowed {
+			verdict = "ALLOW"
+		}
+		fmt.Fprintf(&b, "#%d %s %s role=%s %s on %s purpose=%s\n",
+			e.Seq, verdict, e.Request.Subject, e.Request.Role,
+			e.Request.Action, e.Request.Collection, e.Request.Purpose)
+	}
+	if i := acl.Verify(entries); i >= 0 {
+		fmt.Fprintf(&b, "chain BROKEN at entry %d\n", i)
+	} else {
+		fmt.Fprintf(&b, "chain intact (%d entries)\n", len(entries))
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func (s *shell) cmdStats() (string, error) {
+	p := s.pds.p
+	fs := p.Device.Chip.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "flash: %s\n", fs)
+	fmt.Fprintf(&b, "RAM: used=%d high-water=%d budget=%d\n",
+		p.Device.RAM.Used(), p.Device.RAM.HighWater(), p.Device.RAM.Budget())
+	fmt.Fprintf(&b, "docs: %d indexed in %d pages\n", p.Docs.NumDocs(), p.Docs.Pages())
+	tables := p.DB.Tables()
+	if len(tables) == 0 {
+		tables = []string{"(none)"}
+	}
+	fmt.Fprintf(&b, "tables: %s", strings.Join(tables, ", "))
+	return b.String(), nil
+}

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runAll executes a script and returns the last output.
+func runAll(t *testing.T, sh *shell, lines ...string) string {
+	t.Helper()
+	var last string
+	for _, line := range lines {
+		out, err := sh.exec(line)
+		if err != nil {
+			t.Fatalf("exec(%q): %v", line, err)
+		}
+		last = out
+	}
+	return last
+}
+
+func TestShellRequiresPDS(t *testing.T) {
+	sh := newShell()
+	if _, err := sh.exec("search foo"); err == nil {
+		t.Error("command before `new` accepted")
+	}
+	if out, err := sh.exec("help"); err != nil || !strings.Contains(out, "commands:") {
+		t.Errorf("help = %q, %v", out, err)
+	}
+}
+
+func TestShellQuit(t *testing.T) {
+	sh := newShell()
+	if _, err := sh.exec("quit"); !errors.Is(err, errQuit) {
+		t.Errorf("quit err = %v", err)
+	}
+}
+
+func TestShellBlankAndComments(t *testing.T) {
+	sh := newShell()
+	for _, line := range []string{"", "   ", "# a comment"} {
+		if out, err := sh.exec(line); err != nil || out != "" {
+			t.Errorf("exec(%q) = %q, %v", line, out, err)
+		}
+	}
+}
+
+func TestShellDocSearchFlow(t *testing.T) {
+	sh := newShell()
+	out := runAll(t, sh,
+		"new alice large",
+		"doc asthma:2 inhaler",
+		"doc holiday:3",
+		"search asthma top=5",
+	)
+	if !strings.Contains(out, "doc 0") {
+		t.Errorf("search output = %q", out)
+	}
+	if out := runAll(t, sh, "search nothinghere"); out != "no results" {
+		t.Errorf("empty search = %q", out)
+	}
+}
+
+func TestShellTableFlow(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh,
+		"new alice",
+		"table bills vendor:str amount:int",
+		"index bills vendor",
+		"insert bills telecom 42",
+		"insert bills power 30",
+		"insert bills telecom 18",
+	)
+	out := runAll(t, sh, "lookup bills vendor telecom")
+	if !strings.Contains(out, "2 rows") || !strings.Contains(out, "telecom | 42") {
+		t.Errorf("lookup = %q", out)
+	}
+	out = runAll(t, sh, "agg sum bills amount by=vendor")
+	if !strings.Contains(out, "telecom") || !strings.Contains(out, "60") {
+		t.Errorf("agg = %q", out)
+	}
+	out = runAll(t, sh, "agg count bills")
+	if !strings.Contains(out, "3") {
+		t.Errorf("count = %q", out)
+	}
+}
+
+func TestShellInsertValidation(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new a", "table t v:int")
+	if _, err := sh.exec("insert t notanint"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if _, err := sh.exec("insert t 1 2"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := sh.exec("table bad col"); err == nil {
+		t.Error("untyped column accepted")
+	}
+	if _, err := sh.exec("table bad col:float"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestShellPolicyFlow(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh,
+		"new alice",
+		"doc asthma:2",
+		"allow role=doctor col=docs action=read purpose=care",
+	)
+	out := runAll(t, sh, "as bob doctor care search asthma")
+	if !strings.Contains(out, "doc 0") {
+		t.Errorf("allowed visitor search = %q", out)
+	}
+	out = runAll(t, sh, "as eve advertiser marketing search asthma")
+	if !strings.HasPrefix(out, "DENIED") {
+		t.Errorf("denied visitor search = %q", out)
+	}
+	out = runAll(t, sh, "audit")
+	if !strings.Contains(out, "ALLOW") || !strings.Contains(out, "DENY") || !strings.Contains(out, "chain intact") {
+		t.Errorf("audit = %q", out)
+	}
+}
+
+func TestShellDenyRule(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh,
+		"new alice",
+		"doc x",
+		"allow col=docs",
+		"deny subject=mallory",
+	)
+	out := runAll(t, sh, "as mallory guest any search x")
+	if !strings.HasPrefix(out, "DENIED") {
+		t.Errorf("deny override = %q", out)
+	}
+}
+
+func TestShellRuleValidation(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new a")
+	if _, err := sh.exec("allow junk"); err == nil {
+		t.Error("junk clause accepted")
+	}
+	if _, err := sh.exec("allow action=fly"); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestShellStats(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new alice", "table t v:int")
+	out := runAll(t, sh, "stats")
+	if !strings.Contains(out, "flash:") || !strings.Contains(out, "tables: t") {
+		t.Errorf("stats = %q", out)
+	}
+}
+
+func TestShellProfiles(t *testing.T) {
+	sh := newShell()
+	for _, p := range []string{"smartcard", "microsd", "sensor", "large"} {
+		out := runAll(t, sh, "new owner "+p)
+		if !strings.Contains(out, "ready") {
+			t.Errorf("profile %s: %q", p, out)
+		}
+	}
+	if _, err := sh.exec("new owner marsrover"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := sh.exec("new"); err == nil {
+		t.Error("missing owner accepted")
+	}
+}
+
+func TestShellUnknownCommand(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new a")
+	if _, err := sh.exec("frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestShellAggValidation(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new a", "table t v:int")
+	if _, err := sh.exec("agg median t v"); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+	out := runAll(t, sh, "agg sum t v")
+	if out != "empty result" {
+		t.Errorf("empty agg = %q", out)
+	}
+}
+
+func TestShellSearchArgs(t *testing.T) {
+	if _, _, err := parseSearchArgs([]string{"top=0"}); err == nil {
+		t.Error("top=0 accepted")
+	}
+	if _, _, err := parseSearchArgs(nil); err == nil {
+		t.Error("no keywords accepted")
+	}
+	kws, n, err := parseSearchArgs([]string{"a", "top=3", "b"})
+	if err != nil || n != 3 || len(kws) != 2 {
+		t.Errorf("parse = %v %d %v", kws, n, err)
+	}
+}
+
+func TestShellKVFlow(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new alice", "kv put name bob", "kv put name carol")
+	if out := runAll(t, sh, "kv get name"); !strings.HasPrefix(out, "carol") {
+		t.Errorf("kv get = %q", out)
+	}
+	runAll(t, sh, "kv del name")
+	if out := runAll(t, sh, "kv get name"); out != "(not found)" {
+		t.Errorf("deleted get = %q", out)
+	}
+	for i := 0; i < 50; i++ {
+		runAll(t, sh, "kv put k"+string(rune('a'+i%20))+" v")
+	}
+	if out := runAll(t, sh, "kv compact"); !strings.Contains(out, "live keys") {
+		t.Errorf("compact = %q", out)
+	}
+	if _, err := sh.exec("kv frobnicate"); err == nil {
+		t.Error("bad kv subcommand accepted")
+	}
+}
+
+func TestShellTSFlow(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new alice")
+	for i := 0; i < 10; i++ {
+		runAll(t, sh, fmt.Sprintf("ts append %d %d", i, i*2))
+	}
+	out := runAll(t, sh, "ts window 2 5")
+	if !strings.Contains(out, "count=4") || !strings.Contains(out, "sum=28") {
+		t.Errorf("window = %q", out)
+	}
+	out = runAll(t, sh, "ts downsample 0 10 5")
+	if !strings.Contains(out, "[0,5)") || !strings.Contains(out, "[5,10)") {
+		t.Errorf("downsample = %q", out)
+	}
+	if _, err := sh.exec("ts append 1 1"); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+}
+
+func TestShellPolicyFileRoundTrip(t *testing.T) {
+	sh := newShell()
+	runAll(t, sh, "new alice", "allow role=doctor col=docs action=read")
+	path := t.TempDir() + "/policy.json"
+	out := runAll(t, sh, "policy save "+path)
+	if !strings.Contains(out, "saved 1 rules") {
+		t.Errorf("save = %q", out)
+	}
+	sh2 := newShell()
+	runAll(t, sh2, "new bob")
+	out = runAll(t, sh2, "policy load "+path)
+	if !strings.Contains(out, "loaded 1 rules") {
+		t.Errorf("load = %q", out)
+	}
+	show := runAll(t, sh2, "policy show")
+	if !strings.Contains(show, "doctor") {
+		t.Errorf("show = %q", show)
+	}
+	if _, err := sh2.exec("policy load /nonexistent/path"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := sh2.exec("policy wat"); err == nil {
+		t.Error("bad policy subcommand accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command smartmeter plays out the Trusted-Cells / Folk-IS perspective: a
+// neighbourhood of homes, each with a secure meter token, lets the grid
+// operator learn aggregate load curves without any home revealing its own
+// consumption — first with the [CKV+02] secure-sum ring among tokens, then
+// with Paillier homomorphic collection through an untrusted server, and it
+// quantifies what the naive (plaintext) alternative would have leaked.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pds/internal/privcrypto"
+	"pds/internal/smc"
+	"pds/internal/workload"
+)
+
+func main() {
+	const homes = 40
+	readings := workload.MeterReadings(homes, 2026)
+	fmt.Printf("neighbourhood: %d homes, %d quarter-hour slots each\n", homes, len(readings[0]))
+
+	// Ground truth for verification.
+	truth := make([]int64, 96)
+	for _, day := range readings {
+		for q, v := range day {
+			truth[q] += v
+		}
+	}
+
+	// 1. Secure-sum ring among meter tokens, one run per slot.
+	fmt.Println("\n-- secure sum ring (no server at all) --")
+	const modulus = int64(1) << 40
+	rng := rand.New(rand.NewSource(1))
+	var msgs int
+	ok := true
+	ringTotals := make([]int64, 96)
+	for q := 0; q < 96; q++ {
+		slot := make([]int64, homes)
+		for h := range slot {
+			slot[h] = readings[h][q]
+		}
+		sum, tr, err := smc.SecureSum(slot, modulus, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ringTotals[q] = sum
+		msgs += tr.Messages
+		if sum != truth[q] {
+			ok = false
+		}
+	}
+	fmt.Printf("96 slots aggregated with %d ring messages; matches truth: %v\n", msgs, ok)
+
+	// 2. Paillier collection: homes encrypt, the untrusted concentrator
+	// multiplies ciphertexts, only the grid authority can decrypt totals.
+	fmt.Println("\n-- homomorphic collection (untrusted concentrator) --")
+	sk, err := privcrypto.GeneratePaillier(512, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pk := sk.Public()
+	okHE := true
+	peakSlot, peakLoad := 0, int64(0)
+	for _, q := range []int{8, 30, 50, 80} { // sample slots to keep runtime short
+		acc, err := pk.EncryptZero(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for h := 0; h < homes; h++ {
+			c, err := pk.EncryptInt64(readings[h][q], nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			acc = pk.AddCipher(acc, c) // the concentrator's only operation
+		}
+		total, err := sk.Decrypt(acc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if total.Int64() != truth[q] {
+			okHE = false
+		}
+		if total.Int64() > peakLoad {
+			peakLoad, peakSlot = total.Int64(), q
+		}
+		fmt.Printf("  slot %2d: total %6d Wh (concentrator saw only ciphertexts)\n", q, total.Int64())
+	}
+	fmt.Printf("homomorphic totals match truth: %v; sampled peak at slot %d (%d Wh)\n", okHE, peakSlot, peakLoad)
+
+	// 3. What the naive design leaks: per-home morning/evening activity,
+	// i.e. occupancy patterns.
+	fmt.Println("\n-- what plaintext collection would have leaked --")
+	awayCount := 0
+	for h := 0; h < homes; h++ {
+		var morning, midday int64
+		for q := 26; q <= 34; q++ {
+			morning += readings[h][q]
+		}
+		for q := 44; q <= 52; q++ {
+			midday += readings[h][q]
+		}
+		if morning > 2*midday {
+			awayCount++
+		}
+	}
+	fmt.Printf("a curious operator could flag %d of %d homes as 'out during the day'\n", awayCount, homes)
+	fmt.Println("with secure aggregation, it learns one number per slot for the whole neighbourhood.")
+
+	// 4. Morning vs evening peaks from the private aggregate.
+	var morning, evening int64
+	for q := 26; q <= 34; q++ {
+		morning += ringTotals[q]
+	}
+	for q := 72; q <= 88; q++ {
+		evening += ringTotals[q]
+	}
+	fmt.Printf("\naggregate insight (all the operator needs): evening/morning load ratio = %.2f\n",
+		float64(evening)/float64(morning))
+}

@@ -1,0 +1,205 @@
+package acl
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultDeny(t *testing.T) {
+	p := NewPolicy()
+	if p.Decide(Request{Subject: "alice", Collection: "x", Action: Read}) {
+		t.Error("empty policy allowed a request")
+	}
+}
+
+func TestAllowRule(t *testing.T) {
+	p := NewPolicy()
+	p.Add(Rule{Role: "doctor", Collection: "medical/*", Action: ActionP(Read), Allow: true})
+	if !p.Decide(Request{Subject: "dr-x", Role: "doctor", Collection: "medical/prescriptions", Action: Read}) {
+		t.Error("doctor read denied")
+	}
+	if p.Decide(Request{Subject: "dr-x", Role: "doctor", Collection: "medical/prescriptions", Action: Write}) {
+		t.Error("doctor write allowed (rule is read-only)")
+	}
+	if p.Decide(Request{Subject: "dr-x", Role: "family", Collection: "medical/prescriptions", Action: Read}) {
+		t.Error("family matched doctor rule")
+	}
+	if p.Decide(Request{Subject: "dr-x", Role: "doctor", Collection: "photos", Action: Read}) {
+		t.Error("photos matched medical/*")
+	}
+}
+
+func TestDenyOverrides(t *testing.T) {
+	p := NewPolicy()
+	p.Add(Rule{Collection: "medical/*", Allow: true})
+	p.Add(Rule{Subject: "mallory", Allow: false})
+	if p.Decide(Request{Subject: "mallory", Collection: "medical/notes", Action: Read}) {
+		t.Error("deny rule did not override")
+	}
+	if !p.Decide(Request{Subject: "bob", Collection: "medical/notes", Action: Read}) {
+		t.Error("bob denied despite allow rule")
+	}
+}
+
+func TestPurposeBinding(t *testing.T) {
+	p := NewPolicy()
+	p.Add(Rule{Collection: "energy", Action: ActionP(Share), Purpose: "statistics", Allow: true})
+	if !p.Decide(Request{Subject: "grid", Collection: "energy", Action: Share, Purpose: "statistics"}) {
+		t.Error("statistics share denied")
+	}
+	if p.Decide(Request{Subject: "grid", Collection: "energy", Action: Share, Purpose: "marketing"}) {
+		t.Error("marketing share allowed")
+	}
+}
+
+func TestCollectionExactAndPrefix(t *testing.T) {
+	r := Rule{Collection: "a/b/*"}
+	if !r.Matches(Request{Collection: "a/b/c"}) || !r.Matches(Request{Collection: "a/b"}) {
+		t.Error("prefix matching broken")
+	}
+	if r.Matches(Request{Collection: "a/bc"}) {
+		t.Error("a/bc matched a/b/*")
+	}
+	exact := Rule{Collection: "a/b"}
+	if exact.Matches(Request{Collection: "a/b/c"}) {
+		t.Error("exact rule matched child")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Share.String() != "share" {
+		t.Error("action strings wrong")
+	}
+	if Action(9).String() != "Action(9)" {
+		t.Error("unknown action string wrong")
+	}
+}
+
+func TestAuditChain(t *testing.T) {
+	tick := time.Unix(1000, 0)
+	log := NewAuditLog(func() time.Time { tick = tick.Add(time.Second); return tick })
+	for i := 0; i < 10; i++ {
+		log.Record(Request{Subject: "s", Collection: "c", Action: Read}, i%2 == 0)
+	}
+	entries := log.Entries()
+	if len(entries) != 10 || log.Len() != 10 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if Verify(entries) != -1 {
+		t.Error("intact chain reported broken")
+	}
+	// Tamper with a decision.
+	entries[4].Allowed = !entries[4].Allowed
+	if Verify(entries) != 4 {
+		t.Errorf("tampered entry not located: %d", Verify(entries))
+	}
+	// Truncation in the middle (remove entry 3).
+	cut := append(append([]AuditEntry(nil), entries[:3]...), log.Entries()[4:]...)
+	if Verify(cut) == -1 {
+		t.Error("spliced chain verified")
+	}
+}
+
+func TestGuardRecordsEverything(t *testing.T) {
+	g := NewGuard()
+	g.Policy.Add(Rule{Collection: "pub", Allow: true})
+	if !g.Check(Request{Subject: "a", Collection: "pub", Action: Read}) {
+		t.Error("allowed request denied")
+	}
+	if g.Check(Request{Subject: "a", Collection: "priv", Action: Read}) {
+		t.Error("unmatched request allowed")
+	}
+	entries := g.Audit.Entries()
+	if len(entries) != 2 || !entries[0].Allowed || entries[1].Allowed {
+		t.Errorf("audit = %+v", entries)
+	}
+	if Verify(entries) != -1 {
+		t.Error("guard chain broken")
+	}
+}
+
+// Property: a verified chain breaks wherever a bit is flipped.
+func TestQuickAuditTamperDetection(t *testing.T) {
+	f := func(n uint8, idx uint8, flipAllowed bool) bool {
+		count := int(n)%20 + 2
+		log := NewAuditLog(nil)
+		for i := 0; i < count; i++ {
+			log.Record(Request{Subject: "s", Collection: "c"}, i%3 == 0)
+		}
+		entries := log.Entries()
+		i := int(idx) % count
+		if flipAllowed {
+			entries[i].Allowed = !entries[i].Allowed
+		} else {
+			entries[i].Request.Subject = "evil"
+		}
+		return Verify(entries) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRulesCopy(t *testing.T) {
+	p := NewPolicy()
+	p.Add(Rule{Collection: "x", Allow: true})
+	rules := p.Rules()
+	rules[0].Allow = false
+	if !p.Decide(Request{Collection: "x"}) {
+		t.Error("Rules() exposed internal state")
+	}
+}
+
+func TestPolicyExportImportRoundTrip(t *testing.T) {
+	p := NewPolicy()
+	p.Add(Rule{Role: "doctor", Collection: "medical/*", Action: ActionP(Read), Purpose: "care", Allow: true})
+	p.Add(Rule{Subject: "mallory", Allow: false})
+	p.Add(Rule{Collection: "photos", Action: ActionP(Share), Allow: true})
+	data, err := p.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewPolicy()
+	n, err := q.Import(data)
+	if err != nil || n != 3 {
+		t.Fatalf("import = %d, %v", n, err)
+	}
+	// Behavioural equivalence on a request battery.
+	reqs := []Request{
+		{Subject: "dr", Role: "doctor", Collection: "medical/rx", Action: Read, Purpose: "care"},
+		{Subject: "dr", Role: "doctor", Collection: "medical/rx", Action: Write, Purpose: "care"},
+		{Subject: "mallory", Role: "doctor", Collection: "medical/rx", Action: Read, Purpose: "care"},
+		{Subject: "x", Collection: "photos", Action: Share},
+		{Subject: "x", Collection: "photos", Action: Read},
+	}
+	for _, r := range reqs {
+		if p.Decide(r) != q.Decide(r) {
+			t.Errorf("decision diverged after round trip: %+v", r)
+		}
+	}
+}
+
+func TestPolicyImportRejectsBadAction(t *testing.T) {
+	p := NewPolicy()
+	if _, err := p.Import([]byte(`[{"action":"fly","allow":true}]`)); err == nil {
+		t.Error("unknown action accepted")
+	}
+	if _, err := p.Import([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	if len(p.Rules()) != 0 {
+		t.Error("failed import mutated policy")
+	}
+}
+
+func TestRuleJSONAnyAction(t *testing.T) {
+	p := NewPolicy()
+	n, err := p.Import([]byte(`[{"collection":"x","allow":true}]`))
+	if err != nil || n != 1 {
+		t.Fatal(err)
+	}
+	if !p.Decide(Request{Collection: "x", Action: Write}) {
+		t.Error("any-action rule did not match write")
+	}
+}

@@ -1,0 +1,31 @@
+package acl_test
+
+import (
+	"fmt"
+
+	"pds/internal/acl"
+)
+
+// A privacy policy with purpose binding: the doctor reads medical data for
+// care; the same data is off-limits for marketing, and every decision
+// lands in the tamper-evident audit chain.
+func Example() {
+	g := acl.NewGuard()
+	g.Policy.Add(acl.Rule{
+		Role: "doctor", Collection: "medical/*",
+		Action: acl.ActionP(acl.Read), Purpose: "care", Allow: true,
+	})
+
+	care := acl.Request{Subject: "dr-bob", Role: "doctor",
+		Collection: "medical/rx", Action: acl.Read, Purpose: "care"}
+	ads := care
+	ads.Purpose = "marketing"
+
+	fmt.Println(g.Check(care))
+	fmt.Println(g.Check(ads))
+	fmt.Println("audit intact:", acl.Verify(g.Audit.Entries()) == -1)
+	// Output:
+	// true
+	// false
+	// audit intact: true
+}

@@ -1,0 +1,79 @@
+package acl
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ruleJSON is the wire form of a Rule: Action is a string so policy files
+// stay human-editable ("" means any action).
+type ruleJSON struct {
+	Subject    string `json:"subject,omitempty"`
+	Role       string `json:"role,omitempty"`
+	Collection string `json:"collection,omitempty"`
+	Action     string `json:"action,omitempty"`
+	Purpose    string `json:"purpose,omitempty"`
+	Allow      bool   `json:"allow"`
+}
+
+// MarshalJSON encodes a rule with a readable action name.
+func (r Rule) MarshalJSON() ([]byte, error) {
+	out := ruleJSON{
+		Subject:    r.Subject,
+		Role:       r.Role,
+		Collection: r.Collection,
+		Purpose:    r.Purpose,
+		Allow:      r.Allow,
+	}
+	if r.Action != nil {
+		out.Action = r.Action.String()
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a rule, validating the action name.
+func (r *Rule) UnmarshalJSON(data []byte) error {
+	var in ruleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*r = Rule{
+		Subject:    in.Subject,
+		Role:       in.Role,
+		Collection: in.Collection,
+		Purpose:    in.Purpose,
+		Allow:      in.Allow,
+	}
+	switch in.Action {
+	case "":
+		r.Action = nil
+	case "read":
+		r.Action = ActionP(Read)
+	case "write":
+		r.Action = ActionP(Write)
+	case "share":
+		r.Action = ActionP(Share)
+	default:
+		return fmt.Errorf("acl: unknown action %q", in.Action)
+	}
+	return nil
+}
+
+// Export serializes the policy's rules as indented JSON (the format a user
+// would back up or hand to another of their devices).
+func (p *Policy) Export() ([]byte, error) {
+	return json.MarshalIndent(p.Rules(), "", "  ")
+}
+
+// Import appends the rules from a Export-format document to the policy.
+// It is all-or-nothing: a malformed document changes nothing.
+func (p *Policy) Import(data []byte) (int, error) {
+	var rules []Rule
+	if err := json.Unmarshal(data, &rules); err != nil {
+		return 0, err
+	}
+	for _, r := range rules {
+		p.Add(r)
+	}
+	return len(rules), nil
+}

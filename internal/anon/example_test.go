@@ -1,0 +1,34 @@
+package anon_test
+
+import (
+	"fmt"
+
+	"pds/internal/anon"
+)
+
+// Full-domain generalization to 2-anonymity: ages widen to ranges, zips
+// lose digits, until every row is indistinguishable from another.
+func ExampleAnonymize() {
+	ds := anon.Dataset{
+		QINames: []string{"age", "zip"},
+		Hierarchies: []anon.Hierarchy{
+			anon.RangeHierarchy{Base: 10, Depth: 2},
+			anon.PrefixHierarchy{MaxLen: 5},
+		},
+		Records: []anon.Record{
+			{QI: []string{"34", "75013"}, Sensitive: "flu"},
+			{QI: []string{"37", "75015"}, Sensitive: "healthy"},
+			{QI: []string{"62", "75001"}, Sensitive: "asthma"},
+			{QI: []string{"68", "75004"}, Sensitive: "healthy"},
+		},
+	}
+	a, err := anon.Anonymize(ds, anon.Params{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("2-anonymous:", anon.VerifyKAnonymous(a.Records, 2))
+	fmt.Println("classes:", a.Classes)
+	// Output:
+	// 2-anonymous: true
+	// classes: 2
+}

@@ -1,0 +1,17 @@
+package anon
+
+import "testing"
+
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(encodeRecord(7, Record{QI: []string{"37", "75013"}, Sensitive: "flu"}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, rec, err := decodeRecord(data)
+		if err == nil {
+			re := encodeRecord(id, rec)
+			if string(re) != string(data) {
+				t.Fatalf("round trip not canonical")
+			}
+		}
+	})
+}

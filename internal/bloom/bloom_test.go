@@ -1,0 +1,220 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewForCapacity(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.TestString(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d", f.Count())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	n := 2000
+	f := NewForCapacity(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("member-%d", i))
+	}
+	fp := 0
+	probes := 20000
+	for i := 0; i < probes; i++ {
+		if f.TestString(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > 0.03 {
+		t.Errorf("false positive rate %.4f, want <= 0.03 (target 0.01)", rate)
+	}
+	if est := f.EstimatedFPRate(); est <= 0 || est > 0.05 {
+		t.Errorf("EstimatedFPRate = %f", est)
+	}
+}
+
+func TestPageSummaryBudget(t *testing.T) {
+	// The paper's summary budget: ~2 bytes per key.
+	keys := 100
+	f := NewPageSummary(keys)
+	if got := f.Bits(); got != 16*keys {
+		t.Errorf("Bits = %d, want %d", got, 16*keys)
+	}
+	perKey := float64(f.SizeBytes()-12) / float64(keys)
+	if perKey != 2 {
+		t.Errorf("bytes per key = %.2f, want 2", perKey)
+	}
+	for i := 0; i < keys; i++ {
+		f.AddString(fmt.Sprintf("k%d", i))
+	}
+	// At 16 bits/key with k=6 the FP rate must be well under 1%.
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if f.TestString(fmt.Sprintf("absent%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.01 {
+		t.Errorf("page summary FP rate %.4f, want < 0.01", rate)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(64, 3)
+	if f.TestString("anything") {
+		t.Error("empty filter claims membership")
+	}
+	if f.EstimatedFPRate() != 0 {
+		t.Errorf("empty FP rate = %f", f.EstimatedFPRate())
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	f := New(0, 0) // clamped
+	f.AddString("x")
+	if !f.TestString("x") {
+		t.Error("clamped filter lost key")
+	}
+	g := NewForCapacity(0, 2.0) // clamped
+	g.AddString("y")
+	if !g.TestString("y") {
+		t.Error("clamped capacity filter lost key")
+	}
+	if NewPageSummary(0).Bits() != 16 {
+		t.Error("NewPageSummary(0) not clamped to 1 key")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewForCapacity(100, 0.01)
+	for i := 0; i < 100; i++ {
+		f.AddString(fmt.Sprintf("k%d", i))
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != f.SizeBytes() {
+		t.Errorf("marshaled len %d, SizeBytes %d", len(data), f.SizeBytes())
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() || g.Bits() != f.Bits() {
+		t.Errorf("metadata mismatch after round trip")
+	}
+	for i := 0; i < 100; i++ {
+		if !g.TestString(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("false negative after round trip: k%d", i)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	var f Filter
+	cases := [][]byte{
+		nil,
+		make([]byte, 5),
+		make([]byte, 12),                     // m=0
+		{8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}, // missing bits
+		{8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF}, // extra bits
+	}
+	for i, c := range cases {
+		if err := f.UnmarshalBinary(c); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+// Property: membership is preserved for every inserted key set.
+func TestQuickMembership(t *testing.T) {
+	f := func(keys []string) bool {
+		fl := NewForCapacity(len(keys)+1, 0.01)
+		for _, k := range keys {
+			fl.AddString(k)
+		}
+		for _, k := range keys {
+			if !fl.TestString(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity on membership.
+func TestQuickMarshalIdentity(t *testing.T) {
+	f := func(keys []string, probe string) bool {
+		fl := NewForCapacity(len(keys)+1, 0.01)
+		for _, k := range keys {
+			fl.AddString(k)
+		}
+		data, err := fl.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var g Filter
+		if err := g.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return g.TestString(probe) == fl.TestString(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPageSummaryBits(t *testing.T) {
+	for _, bits := range []int{1, 2, 8, 16, 64} {
+		f := NewPageSummaryBits(100, bits)
+		if f.Bits() != bits*100 {
+			t.Errorf("bits/key=%d: Bits=%d", bits, f.Bits())
+		}
+		for i := 0; i < 100; i++ {
+			f.AddString(fmt.Sprintf("k%d", i))
+		}
+		for i := 0; i < 100; i++ {
+			if !f.TestString(fmt.Sprintf("k%d", i)) {
+				t.Fatalf("bits/key=%d: false negative", bits)
+			}
+		}
+	}
+	// Clamps.
+	if NewPageSummaryBits(0, 0).Bits() < 8 {
+		t.Error("degenerate params not clamped")
+	}
+}
+
+func TestSummaryBitsMonotoneFPRate(t *testing.T) {
+	rate := func(bits int) float64 {
+		f := NewPageSummaryBits(500, bits)
+		for i := 0; i < 500; i++ {
+			f.AddString(fmt.Sprintf("member%d", i))
+		}
+		fp := 0
+		for i := 0; i < 5000; i++ {
+			if f.TestString(fmt.Sprintf("absent%d", i)) {
+				fp++
+			}
+		}
+		return float64(fp) / 5000
+	}
+	r2, r8, r16 := rate(2), rate(8), rate(16)
+	if !(r2 > r8 && r8 >= r16) {
+		t.Errorf("FP rates not monotone: %f %f %f", r2, r8, r16)
+	}
+}

@@ -1,0 +1,22 @@
+package bloom_test
+
+import (
+	"fmt"
+
+	"pds/internal/bloom"
+)
+
+// A page summary answers "might this key be on that page?" in RAM,
+// touching flash only on positives.
+func Example() {
+	summary := bloom.NewPageSummary(3)
+	summary.AddString("Lyon")
+	summary.AddString("Paris")
+	summary.AddString("Nice")
+
+	fmt.Println(summary.TestString("Lyon"))
+	fmt.Println(summary.TestString("Atlantis"))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,20 @@
+package bloom
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := NewForCapacity(10, 0.01).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fl Filter
+		if err := fl.UnmarshalBinary(data); err == nil {
+			// An accepted filter must answer queries without panicking.
+			fl.Test([]byte("probe"))
+			re, err2 := fl.MarshalBinary()
+			if err2 != nil || string(re) != string(data) {
+				t.Fatalf("round trip not canonical")
+			}
+		}
+	})
+}

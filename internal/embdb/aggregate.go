@@ -1,0 +1,213 @@
+package embdb
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggFunc selects an aggregate function.
+type AggFunc int
+
+// Supported aggregates.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// AggQuery is a local GROUP BY aggregate over one table — the token-side
+// half of Part III's global queries (each PDS aggregates its own tuples
+// before contributing), also useful on its own.
+type AggQuery struct {
+	Table   string
+	Func    AggFunc
+	Col     string // measure column (Int); ignored for Count
+	GroupBy string // optional grouping column; empty = one global group
+	// Where optionally restricts rows via an indexed or scanned equality.
+	Where *Cond
+}
+
+// AggResult is one output group.
+type AggResult struct {
+	Group Value // nil when the query has no GROUP BY
+	Value float64
+	Count int64
+}
+
+// aggState folds values in pipeline (one state per group in RAM; the
+// number of groups, not rows, bounds memory).
+type aggState struct {
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+func (s *aggState) add(v int64) {
+	if s.count == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.count++
+	s.sum += v
+}
+
+func (s *aggState) result(f AggFunc) float64 {
+	switch f {
+	case Count:
+		return float64(s.count)
+	case Sum:
+		return float64(s.sum)
+	case Avg:
+		if s.count == 0 {
+			return 0
+		}
+		return float64(s.sum) / float64(s.count)
+	case Min:
+		if s.count == 0 {
+			return math.NaN()
+		}
+		return float64(s.min)
+	case Max:
+		if s.count == 0 {
+			return math.NaN()
+		}
+		return float64(s.max)
+	default:
+		return math.NaN()
+	}
+}
+
+// Aggregate evaluates an aggregate query by streaming the table once (or
+// only the matching rows when Where hits a selection index), accumulating
+// per-group state. Results are returned in first-seen group order.
+func (db *DB) Aggregate(q AggQuery) ([]AggResult, error) {
+	t, err := db.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	var colIdx int
+	if q.Func != Count {
+		colIdx = schema.ColIndex(q.Col)
+		if colIdx < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, q.Table, q.Col)
+		}
+		if schema.Cols[colIdx].Type != Int {
+			return nil, fmt.Errorf("embdb: aggregate column %s.%s must be int", q.Table, q.Col)
+		}
+	}
+	groupIdx := -1
+	if q.GroupBy != "" {
+		groupIdx = schema.ColIndex(q.GroupBy)
+		if groupIdx < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, q.Table, q.GroupBy)
+		}
+	}
+	var whereIdx int
+	var whereKey []byte
+	if q.Where != nil {
+		if q.Where.Table != q.Table {
+			return nil, fmt.Errorf("embdb: aggregate WHERE must target %s", q.Table)
+		}
+		whereIdx = schema.ColIndex(q.Where.Col)
+		if whereIdx < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, q.Table, q.Where.Col)
+		}
+		whereKey = Key(q.Where.Val)
+	}
+
+	states := map[string]*aggState{}
+	groups := map[string]Value{}
+	var order []string
+	fold := func(row Row) {
+		if whereKey != nil && string(Key(row[whereIdx])) != string(whereKey) {
+			return
+		}
+		gkey := ""
+		var gval Value
+		if groupIdx >= 0 {
+			gval = row[groupIdx]
+			gkey = string(Key(gval))
+		}
+		st := states[gkey]
+		if st == nil {
+			st = &aggState{}
+			states[gkey] = st
+			groups[gkey] = gval
+			order = append(order, gkey)
+		}
+		var v int64
+		if q.Func != Count {
+			v = int64(row[colIdx].(IntVal))
+		}
+		st.add(v)
+	}
+
+	// Prefer an indexed access path for the WHERE clause.
+	if q.Where != nil {
+		if ix, ok := db.indexes[q.Table][q.Where.Col]; ok {
+			rids, _, err := ix.Lookup(q.Where.Val)
+			if err != nil {
+				return nil, err
+			}
+			for _, rid := range rids {
+				row, err := t.Get(rid)
+				if err != nil {
+					return nil, err
+				}
+				fold(row)
+			}
+			return assembleAgg(q, states, groups, order), nil
+		}
+	}
+	it := t.Scan()
+	for {
+		row, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		fold(row)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return assembleAgg(q, states, groups, order), nil
+}
+
+func assembleAgg(q AggQuery, states map[string]*aggState, groups map[string]Value, order []string) []AggResult {
+	out := make([]AggResult, 0, len(order))
+	for _, gkey := range order {
+		st := states[gkey]
+		out = append(out, AggResult{
+			Group: groups[gkey],
+			Value: st.result(q.Func),
+			Count: st.count,
+		})
+	}
+	return out
+}

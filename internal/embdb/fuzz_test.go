@@ -1,0 +1,43 @@
+package embdb
+
+import "testing"
+
+func FuzzDecodeRow(f *testing.F) {
+	s := NewSchema(Column{"a", Int}, Column{"b", Str})
+	good, _ := encodeRow(s, Row{IntVal(7), StrVal("hello")})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		row, err := decodeRow(s, data)
+		if err == nil {
+			re, err2 := encodeRow(s, row)
+			if err2 != nil {
+				t.Fatalf("re-encode failed: %v", err2)
+			}
+			if string(re) != string(data) {
+				t.Fatalf("round trip not canonical")
+			}
+		}
+	})
+}
+
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add(encodeEntry([]byte("key"), 42))
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeEntry(data)
+		if err == nil {
+			_ = e.rid
+		}
+	})
+}
+
+func FuzzDecodeNodePage(f *testing.F) {
+	page := appendNodeEntry(make([]byte, nodePageHeader), nodeEntry{key: []byte("k"), ptr: 1})
+	putU16(page[0:2], 1)
+	f.Add(page)
+	f.Add([]byte{9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeNodePage(data)
+	})
+}

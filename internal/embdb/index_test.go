@@ -1,0 +1,369 @@
+package embdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pds/internal/flash"
+	"pds/internal/logstore"
+)
+
+// loadCustomer builds a CUSTOMER-like table (wide rows, as in TPC-D) with
+// an indexed city column; rare city "Lyon" appears once every period rows.
+func loadCustomer(t *testing.T, alloc *flash.Allocator, n, period int) (*Table, *SelectIndex, []RowID) {
+	t.Helper()
+	schema := NewSchema(Column{"id", Int}, Column{"city", Str}, Column{"payload", Str})
+	tbl := NewTable(alloc, "CUSTOMER", schema)
+	ix, err := NewSelectIndex(tbl, "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := StrVal(string(make([]byte, 100))) // address/comment fields
+	var want []RowID
+	for i := 0; i < n; i++ {
+		city := fmt.Sprintf("city%03d", i%97)
+		if period > 0 && i%period == 0 {
+			city = "Lyon"
+			want = append(want, RowID(i))
+		}
+		rid, err := tbl.Insert(Row{IntVal(int64(i)), StrVal(city), pad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add(StrVal(city), rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl, ix, want
+}
+
+func TestSelectIndexLookup(t *testing.T) {
+	alloc := bigAlloc()
+	_, ix, want := loadCustomer(t, alloc, 2000, 101)
+	got, st, err := ix.Lookup(StrVal("Lyon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %d, want %d (stats %+v)", len(got), len(want), st)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("match %d = %d, want %d (order must be ascending rowid)", i, got[i], want[i])
+		}
+	}
+	if st.Matches != len(want) {
+		t.Errorf("stats.Matches = %d", st.Matches)
+	}
+}
+
+func TestSelectIndexFindsBufferedEntries(t *testing.T) {
+	alloc := bigAlloc()
+	tbl := NewTable(alloc, "t", personSchema())
+	ix, _ := NewSelectIndex(tbl, "city")
+	rid, _ := tbl.Insert(Row{IntVal(1), StrVal("Nice")})
+	ix.Add(StrVal("Nice"), rid)
+	// No flush: posting only in RAM.
+	got, _, err := ix.Lookup(StrVal("Nice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != rid {
+		t.Errorf("buffered lookup = %v", got)
+	}
+}
+
+func TestSelectIndexMissingKey(t *testing.T) {
+	alloc := bigAlloc()
+	_, ix, _ := loadCustomer(t, alloc, 500, 0)
+	got, st, err := ix.Lookup(StrVal("Atlantis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("missing key matched %v", got)
+	}
+	// Bloom summaries should keep false reads very low.
+	if st.KeyPagesRead > ix.KeysPages()/10+1 {
+		t.Errorf("missing key read %d of %d key pages", st.KeyPagesRead, ix.KeysPages())
+	}
+}
+
+func TestSummaryScanBeatsTableScan(t *testing.T) {
+	// The paper's headline E1 comparison: the summary scan touches the
+	// small Bloom log plus a few key pages; the table scan reads the
+	// whole table.
+	alloc := bigAlloc()
+	tbl, ix, _ := loadCustomer(t, alloc, 4000, 211)
+	tbl.Flush()
+	ix.Flush()
+	chip := alloc.Chip()
+
+	chip.ResetStats()
+	idxRids, _, err := ix.Lookup(StrVal("Lyon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxIO := chip.Stats().PageReads
+
+	chip.ResetStats()
+	scanRids, err := tbl.ScanFilter("city", StrVal("Lyon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanIO := chip.Stats().PageReads
+
+	if len(idxRids) != len(scanRids) {
+		t.Fatalf("index %d matches, scan %d", len(idxRids), len(scanRids))
+	}
+	if idxIO*5 > scanIO {
+		t.Errorf("summary scan %d IOs vs table scan %d IOs; want >=5x saving", idxIO, scanIO)
+	}
+}
+
+func TestSelectIndexNoSuchColumn(t *testing.T) {
+	tbl := NewTable(bigAlloc(), "t", personSchema())
+	if _, err := NewSelectIndex(tbl, "ghost"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSelectIndexDrop(t *testing.T) {
+	alloc := bigAlloc()
+	tbl, ix, _ := loadCustomer(t, alloc, 1000, 10)
+	tbl.Flush()
+	ix.Flush()
+	before := alloc.InUse()
+	if err := ix.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.InUse() >= before {
+		t.Error("drop freed nothing")
+	}
+}
+
+func TestReorganizeLookup(t *testing.T) {
+	alloc := bigAlloc()
+	_, ix, want := loadCustomer(t, alloc, 3000, 97)
+	tree, err := ix.Reorganize(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Drop()
+	if tree.Len() != ix.Len() {
+		t.Errorf("tree entries = %d, index = %d", tree.Len(), ix.Len())
+	}
+	got, err := tree.LookupValue(StrVal("Lyon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tree matches = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("tree match %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Missing key.
+	none, err := tree.LookupValue(StrVal("Atlantis"))
+	if err != nil || len(none) != 0 {
+		t.Errorf("missing key = %v, %v", none, err)
+	}
+	// Key beyond the maximum.
+	none, err = tree.LookupValue(StrVal("zzzz"))
+	if err != nil || len(none) != 0 {
+		t.Errorf("beyond-max key = %v, %v", none, err)
+	}
+}
+
+func TestReorganizeIOCheaperThanSequential(t *testing.T) {
+	alloc := bigAlloc()
+	_, ix, _ := loadCustomer(t, alloc, 6000, 503)
+	tree, err := ix.Reorganize(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Drop()
+	chip := alloc.Chip()
+
+	chip.ResetStats()
+	if _, _, err := ix.Lookup(StrVal("Lyon")); err != nil {
+		t.Fatal(err)
+	}
+	seqIO := chip.Stats().PageReads
+
+	chip.ResetStats()
+	if _, err := tree.LookupValue(StrVal("Lyon")); err != nil {
+		t.Fatal(err)
+	}
+	treeIO := chip.Stats().PageReads
+
+	if treeIO >= seqIO {
+		t.Errorf("tree lookup %d IOs, sequential %d IOs; reorganization should win", treeIO, seqIO)
+	}
+	if treeIO > int64(tree.Height()+3) {
+		t.Errorf("tree lookup cost %d IOs, want ~height (%d)", treeIO, tree.Height())
+	}
+}
+
+func TestReorganizeUsesOnlySequentialWrites(t *testing.T) {
+	// The reorganization itself must respect the log-only discipline: no
+	// page overwrites (the chip would error) and no erases beyond the
+	// temp-run deallocation.
+	alloc := bigAlloc()
+	_, ix, _ := loadCustomer(t, alloc, 3000, 100)
+	ix.Flush()
+	if _, err := ix.Reorganize(1, 2); err != nil {
+		t.Fatalf("reorganize violated flash discipline: %v", err)
+	}
+}
+
+func TestTreeEmpty(t *testing.T) {
+	alloc := bigAlloc()
+	empty := logstore.NewLog(alloc)
+	tree, err := BuildTree(alloc, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Lookup([]byte("x"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty tree lookup = %v, %v", got, err)
+	}
+	if tree.Height() != 1 {
+		t.Errorf("empty tree height = %d", tree.Height())
+	}
+}
+
+func TestTreeSingleEntry(t *testing.T) {
+	alloc := bigAlloc()
+	l := logstore.NewLog(alloc)
+	l.Append(encodeEntry([]byte("solo"), 7))
+	tree, err := BuildTree(alloc, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Lookup([]byte("solo"))
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Errorf("single entry lookup = %v, %v", got, err)
+	}
+}
+
+func TestTreeHeightGrows(t *testing.T) {
+	alloc := flash.NewAllocator(flash.NewChip(flash.Geometry{PageSize: 64, PagesPerBlock: 8, Blocks: 4096}))
+	l := logstore.NewLog(alloc)
+	for i := 0; i < 2000; i++ {
+		l.Append(encodeEntry([]byte(fmt.Sprintf("%06d", i)), RowID(i)))
+	}
+	tree, err := BuildTree(alloc, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() < 3 {
+		t.Errorf("height = %d, want >= 3 with tiny pages", tree.Height())
+	}
+	for _, probe := range []int{0, 1, 999, 1998, 1999} {
+		got, err := tree.Lookup([]byte(fmt.Sprintf("%06d", probe)))
+		if err != nil || len(got) != 1 || got[0] != RowID(probe) {
+			t.Errorf("probe %d = %v, %v", probe, got, err)
+		}
+	}
+}
+
+func TestTreeRange(t *testing.T) {
+	alloc := bigAlloc()
+	l := logstore.NewLog(alloc)
+	for i := 0; i < 500; i++ {
+		l.Append(encodeEntry(Key(IntVal(int64(i))), RowID(i)))
+	}
+	tree, err := BuildTree(alloc, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := tree.Range(Key(IntVal(100)), Key(IntVal(199)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		key, rid, ok := it.Next()
+		if !ok {
+			break
+		}
+		if bytes.Compare(key, Key(IntVal(100))) < 0 || bytes.Compare(key, Key(IntVal(199))) > 0 {
+			t.Errorf("key out of range")
+		}
+		if rid != RowID(100+n) {
+			t.Errorf("range rid %d, want %d", rid, 100+n)
+		}
+		n++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if n != 100 {
+		t.Errorf("range yielded %d, want 100", n)
+	}
+	// Inverted range is empty.
+	it2, _ := tree.Range(Key(IntVal(10)), Key(IntVal(5)))
+	if _, _, ok := it2.Next(); ok {
+		t.Error("inverted range yielded entries")
+	}
+}
+
+// Property: for random data sets, tree lookups agree with the sequential
+// index for every present and absent key.
+func TestQuickTreeAgreesWithSequential(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		n := int(size)%800 + 1
+		rng := rand.New(rand.NewSource(seed))
+		alloc := bigAlloc()
+		tbl := NewTable(alloc, "t", NewSchema(Column{"v", Int}))
+		ix, err := NewSelectIndex(tbl, "v")
+		if err != nil {
+			return false
+		}
+		domain := int64(50)
+		for i := 0; i < n; i++ {
+			v := IntVal(rng.Int63n(domain))
+			rid, err := tbl.Insert(Row{v})
+			if err != nil {
+				return false
+			}
+			if err := ix.Add(v, rid); err != nil {
+				return false
+			}
+		}
+		tree, err := ix.Reorganize(1, 2)
+		if err != nil {
+			return false
+		}
+		defer tree.Drop()
+		for v := int64(-1); v <= domain; v++ {
+			a, _, err := ix.Lookup(IntVal(v))
+			if err != nil {
+				return false
+			}
+			b, err := tree.LookupValue(IntVal(v))
+			if err != nil {
+				return false
+			}
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

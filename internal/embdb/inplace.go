@@ -1,0 +1,233 @@
+package embdb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"pds/internal/flash"
+)
+
+// InPlaceIndex is the anti-pattern baseline of the flash experiments: a
+// sorted array of (key, rowid) entries kept in place on flash, as a
+// classical disk B-tree would. Every insertion lands in the middle of some
+// page; since NAND forbids page rewrites, the device must read the whole
+// erase block, erase it, and program it back — the random-write cost the
+// tutorial's log-only framework exists to avoid. It is implemented only to
+// be measured against.
+type InPlaceIndex struct {
+	alloc   *flash.Allocator
+	blocks  []int // one entry-page per... pages used in order
+	pages   int   // logical pages in use
+	perPage int   // max entries per page
+	entries int
+}
+
+// NewInPlaceIndex creates the baseline index.
+func NewInPlaceIndex(alloc *flash.Allocator) *InPlaceIndex {
+	g := alloc.Chip().Geometry()
+	return &InPlaceIndex{
+		alloc:   alloc,
+		perPage: (g.PageSize - nodePageHeader) / (2 + 8 + 4), // conservative for 8-byte keys
+	}
+}
+
+// Len returns the number of entries.
+func (x *InPlaceIndex) Len() int { return x.entries }
+
+// Pages returns the pages in use.
+func (x *InPlaceIndex) Pages() int { return x.pages }
+
+// physPage maps a logical page to flash.
+func (x *InPlaceIndex) physPage(logical int) (int, error) {
+	g := x.alloc.Chip().Geometry()
+	bi := logical / g.PagesPerBlock
+	if bi >= len(x.blocks) {
+		return 0, fmt.Errorf("embdb: in-place logical page %d unallocated", logical)
+	}
+	return x.blocks[bi]*g.PagesPerBlock + logical%g.PagesPerBlock, nil
+}
+
+// readPage loads a logical page's entries.
+func (x *InPlaceIndex) readPage(logical int) ([]nodeEntry, error) {
+	phys, err := x.physPage(logical)
+	if err != nil {
+		return nil, err
+	}
+	img, err := x.alloc.Chip().Page(phys)
+	if err != nil {
+		return nil, err
+	}
+	if img == nil {
+		return nil, nil
+	}
+	return decodeNodePage(img)
+}
+
+// rewritePage overwrites one logical page, paying the full
+// read-erase-program cycle of its block.
+func (x *InPlaceIndex) rewritePage(logical int, entries []nodeEntry) error {
+	g := x.alloc.Chip().Geometry()
+	chip := x.alloc.Chip()
+	bi := logical / g.PagesPerBlock
+	for bi >= len(x.blocks) {
+		b, err := x.alloc.Alloc()
+		if err != nil {
+			return err
+		}
+		x.blocks = append(x.blocks, b)
+	}
+	block := x.blocks[bi]
+	base := block * g.PagesPerBlock
+	// Read every live page of the block.
+	images := make([][]byte, g.PagesPerBlock)
+	for i := 0; i < g.PagesPerBlock; i++ {
+		written, err := chip.Written(base + i)
+		if err != nil {
+			return err
+		}
+		if written {
+			img, err := chip.Page(base + i)
+			if err != nil {
+				return err
+			}
+			images[i] = img
+		}
+	}
+	// Build the new page image.
+	page := make([]byte, nodePageHeader, g.PageSize)
+	for _, e := range entries {
+		page = appendNodeEntry(page, e)
+	}
+	if len(page) > g.PageSize {
+		return fmt.Errorf("embdb: in-place page overflow")
+	}
+	putU16(page[0:2], uint16(len(entries)))
+	images[logical%g.PagesPerBlock] = page
+	// Erase and program back — the expensive part.
+	if err := chip.EraseBlock(block); err != nil {
+		return err
+	}
+	for i := 0; i < g.PagesPerBlock; i++ {
+		if images[i] == nil {
+			break // NAND sequential rule: stop at first unwritten page
+		}
+		if err := chip.WritePage(base+i, images[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func putU16(dst []byte, v uint16) {
+	dst[0] = byte(v)
+	dst[1] = byte(v >> 8)
+}
+
+// Insert adds (key, rid) keeping global sorted order, splitting pages as
+// they fill. Every insert rewrites at least one block.
+func (x *InPlaceIndex) Insert(key []byte, rid RowID) error {
+	e := nodeEntry{key: append([]byte(nil), key...), ptr: uint32(rid)}
+	if x.pages == 0 {
+		if err := x.rewritePage(0, []nodeEntry{e}); err != nil {
+			return err
+		}
+		x.pages = 1
+		x.entries = 1
+		return nil
+	}
+	// Find the target page by scanning last keys (binary search over
+	// pages, reading one page per probe).
+	lo, hi := 0, x.pages-1
+	target := x.pages - 1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		entries, err := x.readPage(mid)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 || bytes.Compare(entries[len(entries)-1].key, key) >= 0 {
+			target = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	entries, err := x.readPage(target)
+	if err != nil {
+		return err
+	}
+	pos := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].key, key) >= 0
+	})
+	entries = append(entries, nodeEntry{})
+	copy(entries[pos+1:], entries[pos:])
+	entries[pos] = e
+	if len(entries) <= x.perPage {
+		if err := x.rewritePage(target, entries); err != nil {
+			return err
+		}
+		x.entries++
+		return nil
+	}
+	// Split: shift all following pages right by one (the classic in-place
+	// array behaviour: worst-case cascading rewrites).
+	for p := x.pages - 1; p > target; p-- {
+		moved, err := x.readPage(p)
+		if err != nil {
+			return err
+		}
+		if err := x.rewritePage(p+1, moved); err != nil {
+			return err
+		}
+	}
+	mid := len(entries) / 2
+	if err := x.rewritePage(target, entries[:mid]); err != nil {
+		return err
+	}
+	if err := x.rewritePage(target+1, entries[mid:]); err != nil {
+		return err
+	}
+	x.pages++
+	x.entries++
+	return nil
+}
+
+// Lookup returns the rowids matching key (ascending insertion order not
+// guaranteed; the baseline only serves cost comparisons).
+func (x *InPlaceIndex) Lookup(key []byte) ([]RowID, error) {
+	var out []RowID
+	for p := 0; p < x.pages; p++ {
+		entries, err := x.readPage(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		if bytes.Compare(entries[len(entries)-1].key, key) < 0 {
+			continue
+		}
+		for _, e := range entries {
+			c := bytes.Compare(e.key, key)
+			if c == 0 {
+				out = append(out, RowID(e.ptr))
+			} else if c > 0 {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// Drop frees the index blocks.
+func (x *InPlaceIndex) Drop() error {
+	for _, b := range x.blocks {
+		if err := x.alloc.Free(b); err != nil {
+			return err
+		}
+	}
+	x.blocks = nil
+	x.pages = 0
+	return nil
+}

@@ -1,0 +1,118 @@
+package embdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestInPlaceIndexCorrectness(t *testing.T) {
+	alloc := bigAlloc()
+	x := NewInPlaceIndex(alloc)
+	rng := rand.New(rand.NewSource(1))
+	want := map[int64][]RowID{}
+	for i := 0; i < 800; i++ {
+		v := rng.Int63n(50)
+		key := Key(IntVal(v))
+		if err := x.Insert(key, RowID(i)); err != nil {
+			t.Fatal(err)
+		}
+		want[v] = append(want[v], RowID(i))
+	}
+	if x.Len() != 800 {
+		t.Errorf("Len = %d", x.Len())
+	}
+	for v := int64(0); v < 50; v++ {
+		got, err := x.Lookup(Key(IntVal(v)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want[v]) {
+			t.Errorf("v=%d: %d matches, want %d", v, len(got), len(want[v]))
+		}
+	}
+	if got, _ := x.Lookup(Key(IntVal(999))); len(got) != 0 {
+		t.Errorf("missing key matched %v", got)
+	}
+}
+
+func TestInPlaceIndexPaysErases(t *testing.T) {
+	// The whole point of the baseline: updates in place force block
+	// erase cycles, while the log-structured index never erases.
+	alloc := bigAlloc()
+	chip := alloc.Chip()
+
+	x := NewInPlaceIndex(alloc)
+	chip.ResetStats()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		if err := x.Insert(Key(IntVal(rng.Int63n(1000))), RowID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inPlace := chip.Stats()
+
+	tbl := NewTable(alloc, "t", NewSchema(Column{"v", Int}))
+	ix, _ := NewSelectIndex(tbl, "v")
+	chip.ResetStats()
+	rng = rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		if err := ix.Add(IntVal(rng.Int63n(1000)), RowID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Flush()
+	logStructured := chip.Stats()
+
+	if inPlace.BlockErases < 400 {
+		t.Errorf("in-place erases = %d; expected ~1 per insert", inPlace.BlockErases)
+	}
+	if logStructured.BlockErases != 0 {
+		t.Errorf("log-structured erases = %d, want 0", logStructured.BlockErases)
+	}
+	if logStructured.PageWrites*10 > inPlace.PageWrites {
+		t.Errorf("log writes %d vs in-place %d; want >=10x saving", logStructured.PageWrites, inPlace.PageWrites)
+	}
+}
+
+func TestInPlaceIndexDrop(t *testing.T) {
+	alloc := bigAlloc()
+	x := NewInPlaceIndex(alloc)
+	for i := 0; i < 200; i++ {
+		x.Insert(Key(IntVal(int64(i))), RowID(i))
+	}
+	if alloc.InUse() == 0 {
+		t.Fatal("no blocks used")
+	}
+	if err := x.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.InUse() != 0 {
+		t.Errorf("blocks leaked: %d", alloc.InUse())
+	}
+}
+
+func TestInPlaceIndexSortedOrderMaintained(t *testing.T) {
+	alloc := bigAlloc()
+	x := NewInPlaceIndex(alloc)
+	// Insert descending to force insertions at the front (worst case).
+	for i := 300; i > 0; i-- {
+		if err := x.Insert([]byte(fmt.Sprintf("%05d", i)), RowID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Global order must hold across pages.
+	var prev []byte
+	for p := 0; p < x.Pages(); p++ {
+		entries, err := x.readPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if prev != nil && string(e.key) < string(prev) {
+				t.Fatalf("order violated: %q after %q", e.key, prev)
+			}
+			prev = append(prev[:0], e.key...)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package embdb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	s := NewSchema(Column{"id", Int}, Column{"name", Str}, Column{"age", Int})
+	row := Row{IntVal(42), StrVal("alice"), IntVal(-7)}
+	data, err := encodeRow(s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRow(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != IntVal(42) || got[1] != StrVal("alice") || got[2] != IntVal(-7) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestEncodeRowSchemaMismatch(t *testing.T) {
+	s := NewSchema(Column{"id", Int}, Column{"name", Str})
+	cases := []Row{
+		{IntVal(1)},                         // too few
+		{IntVal(1), StrVal("x"), IntVal(2)}, // too many
+		{StrVal("x"), StrVal("y")},          // wrong type for int col
+		{IntVal(1), IntVal(2)},              // wrong type for str col
+	}
+	for i, r := range cases {
+		if _, err := encodeRow(s, r); !errors.Is(err, ErrSchemaMismatch) {
+			t.Errorf("case %d: err = %v, want ErrSchemaMismatch", i, err)
+		}
+	}
+}
+
+func TestDecodeRowCorrupt(t *testing.T) {
+	s := NewSchema(Column{"id", Int}, Column{"name", Str})
+	good, _ := encodeRow(s, Row{IntVal(1), StrVal("hello")})
+	cases := [][]byte{
+		good[:3],           // truncated int
+		good[:9],           // truncated str header
+		good[:len(good)-2], // truncated str body
+		append(append([]byte(nil), good...), 0xFF), // trailing byte
+	}
+	for i, c := range cases {
+		if _, err := decodeRow(s, c); !errors.Is(err, ErrCorruptRow) {
+			t.Errorf("case %d: err = %v, want ErrCorruptRow", i, err)
+		}
+	}
+}
+
+func TestIntKeyOrderPreserving(t *testing.T) {
+	// The encoded form of IntVal must sort like the integers, including
+	// across the sign boundary.
+	vals := []int64{-1 << 62, -100, -1, 0, 1, 7, 1 << 40, 1<<62 - 1}
+	for i := 1; i < len(vals); i++ {
+		a := Key(IntVal(vals[i-1]))
+		b := Key(IntVal(vals[i]))
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("Key(%d) !< Key(%d)", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestQuickIntKeyOrder(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp := bytes.Compare(Key(IntVal(a)), Key(IntVal(b)))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRowRoundTrip(t *testing.T) {
+	s := NewSchema(Column{"a", Int}, Column{"b", Str}, Column{"c", Str})
+	f := func(a int64, b, c string) bool {
+		if len(b) > 0xFFFF || len(c) > 0xFFFF {
+			return true
+		}
+		row := Row{IntVal(a), StrVal(b), StrVal(c)}
+		data, err := encodeRow(s, row)
+		if err != nil {
+			return false
+		}
+		got, err := decodeRow(s, data)
+		if err != nil {
+			return false
+		}
+		return got[0] == IntVal(a) && got[1] == StrVal(b) && got[2] == StrVal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if IntVal(-5).String() != "-5" {
+		t.Errorf("IntVal.String = %q", IntVal(-5).String())
+	}
+	if StrVal("hi").String() != "hi" {
+		t.Errorf("StrVal.String = %q", StrVal("hi").String())
+	}
+	if Int.String() != "int" || Str.String() != "str" {
+		t.Error("ColType strings wrong")
+	}
+	if ColType(7).String() != "ColType(7)" {
+		t.Error("unknown ColType string wrong")
+	}
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := NewSchema(Column{"x", Int}, Column{"y", Str})
+	if s.ColIndex("x") != 0 || s.ColIndex("y") != 1 || s.ColIndex("z") != -1 {
+		t.Error("ColIndex wrong")
+	}
+}
+
+func TestEntryEncodeDecode(t *testing.T) {
+	rec := encodeEntry([]byte("key"), 12345)
+	e, err := decodeEntry(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.key) != "key" || e.rid != 12345 {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, err := decodeEntry(rec[:4]); err == nil {
+		t.Error("short entry accepted")
+	}
+	if _, err := decodeEntry(append(rec, 0)); err == nil {
+		t.Error("oversized entry accepted")
+	}
+}

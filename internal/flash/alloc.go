@@ -1,0 +1,82 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoSpace is returned when every block is allocated.
+var ErrNoSpace = errors.New("flash: no free blocks")
+
+// Allocator hands out erase blocks of a chip at block granularity, the only
+// allocation grain the tutorial's log-only framework permits (so that
+// deallocation never triggers partial garbage collection).
+//
+// Freed blocks are erased immediately, which is when the erase cost is paid.
+type Allocator struct {
+	mu    sync.Mutex
+	chip  *Chip
+	free  []int // stack of free block ids
+	inUse map[int]bool
+}
+
+// NewAllocator creates an allocator owning all blocks of chip.
+func NewAllocator(chip *Chip) *Allocator {
+	g := chip.Geometry()
+	a := &Allocator{
+		chip:  chip,
+		free:  make([]int, 0, g.Blocks),
+		inUse: make(map[int]bool, g.Blocks),
+	}
+	// Hand out low block ids first so tests and traces are deterministic.
+	for b := g.Blocks - 1; b >= 0; b-- {
+		a.free = append(a.free, b)
+	}
+	return a
+}
+
+// Alloc reserves one block and returns its id.
+func (a *Allocator) Alloc() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.free) == 0 {
+		return 0, ErrNoSpace
+	}
+	b := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.inUse[b] = true
+	return b, nil
+}
+
+// Free erases block b and returns it to the free pool.
+func (a *Allocator) Free(b int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inUse[b] {
+		return fmt.Errorf("flash: free of unallocated block %d", b)
+	}
+	if err := a.chip.EraseBlock(b); err != nil {
+		return err
+	}
+	delete(a.inUse, b)
+	a.free = append(a.free, b)
+	return nil
+}
+
+// FreeBlocks returns how many blocks remain unallocated.
+func (a *Allocator) FreeBlocks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}
+
+// InUse returns how many blocks are currently allocated.
+func (a *Allocator) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.inUse)
+}
+
+// Chip returns the underlying chip.
+func (a *Allocator) Chip() *Chip { return a.chip }

@@ -1,0 +1,50 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectWriteFaultSingleShot(t *testing.T) {
+	c := NewChip(SmallGeometry())
+	c.InjectWriteFault(2)
+	if err := c.WritePage(0, []byte("a")); err != nil {
+		t.Fatalf("write 0: %v", err)
+	}
+	if err := c.WritePage(1, []byte("b")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := c.WritePage(2, []byte("c")); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("write 2 err = %v, want injected fault", err)
+	}
+	// Single-shot: the retry succeeds and the device is consistent.
+	if err := c.WritePage(2, []byte("c")); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if got, _ := c.Page(1); string(got) != "b" {
+		t.Errorf("pre-fault data lost: %q", got)
+	}
+	// The failed write must not count in the stats.
+	if s := c.Stats(); s.PageWrites != 3 {
+		t.Errorf("writes = %d, want 3", s.PageWrites)
+	}
+}
+
+func TestInjectEraseFaultSingleShot(t *testing.T) {
+	c := NewChip(SmallGeometry())
+	c.WritePage(0, []byte("x"))
+	c.InjectEraseFault(0)
+	if err := c.EraseBlock(0); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("erase err = %v", err)
+	}
+	// The block is untouched by the failed erase.
+	if got, _ := c.Page(0); string(got) != "x" {
+		t.Errorf("failed erase corrupted data: %q", got)
+	}
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatalf("retry erase: %v", err)
+	}
+	if w, _ := c.Written(0); w {
+		t.Error("block not erased on retry")
+	}
+}

@@ -1,0 +1,17 @@
+package folder
+
+import "testing"
+
+func FuzzDecodeDoc(f *testing.F) {
+	f.Add(encodeDoc(Document{ID: "d", Category: "c", Body: []byte("b"), Stamp: Stamp{Counter: 3, Writer: "w"}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := decodeDoc(data)
+		if err == nil {
+			re := encodeDoc(d)
+			if string(re) != string(data) {
+				t.Fatalf("round trip not canonical")
+			}
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package gquery
+
+import "testing"
+
+func FuzzDecodePartial(f *testing.F) {
+	f.Add(encodePartial(partialAgg{IDSum: 1, Count: 2, Aggs: map[string]GroupAgg{"g": {Sum: 3, Count: 1, Min: 3, Max: 3}}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodePartial(data)
+		if err == nil {
+			// Round trip must be stable on accepted inputs.
+			if _, err := decodePartial(encodePartial(p)); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzDecodeTuplePlain(f *testing.F) {
+	f.Add(encodeTuplePlain(tuplePlain{ID: 9, Group: "g", Value: -1, Fake: true}))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, err := decodeTuplePlain(data)
+		if err == nil {
+			got, err2 := decodeTuplePlain(encodeTuplePlain(tp))
+			if err2 != nil || got != tp {
+				t.Fatalf("round trip: %+v vs %+v (%v)", got, tp, err2)
+			}
+		}
+	})
+}
+
+func FuzzSplitPayloads(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		splitNoisePayload(data)
+		peekBucketID(data)
+		splitPaillierPayload(data)
+	})
+}

@@ -1,0 +1,234 @@
+package gquery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pds/internal/netsim"
+	"pds/internal/ssi"
+)
+
+// Bucket is one equi-depth histogram bucket over the (ordered) group
+// domain: it covers groups in [Lo, Hi] inclusive.
+type Bucket struct {
+	Lo, Hi string
+	// Groups lists the domain values the bucket covers (public knowledge:
+	// the histogram is built from a public approximate distribution).
+	Groups []string
+}
+
+// EquiDepthBuckets builds b buckets over the domain such that each bucket
+// covers roughly the same tuple mass according to the public approximate
+// frequency table freq (missing groups count as 1). This is the
+// Hacigümüs-style bucketization the tutorial cites.
+func EquiDepthBuckets(domain []string, freq map[string]int, b int) ([]Bucket, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("gquery: bucket count must be >= 1, got %d", b)
+	}
+	if len(domain) == 0 {
+		return nil, fmt.Errorf("gquery: empty domain")
+	}
+	sorted := append([]string(nil), domain...)
+	sort.Strings(sorted)
+	if b > len(sorted) {
+		b = len(sorted)
+	}
+	total := 0
+	w := func(g string) int {
+		f := freq[g]
+		if f < 1 {
+			f = 1
+		}
+		return f
+	}
+	for _, g := range sorted {
+		total += w(g)
+	}
+	target := float64(total) / float64(b)
+	var out []Bucket
+	cur := Bucket{Lo: sorted[0]}
+	mass := 0
+	for i, g := range sorted {
+		cur.Groups = append(cur.Groups, g)
+		cur.Hi = g
+		mass += w(g)
+		remainingGroups := len(sorted) - i - 1
+		remainingBuckets := b - len(out) - 1
+		if (float64(mass) >= target && remainingBuckets > 0 && remainingGroups >= remainingBuckets) ||
+			remainingGroups == remainingBuckets {
+			out = append(out, cur)
+			if i+1 < len(sorted) {
+				cur = Bucket{Lo: sorted[i+1]}
+				mass = 0
+			} else {
+				cur = Bucket{}
+			}
+		}
+	}
+	if len(cur.Groups) > 0 {
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// BucketOf returns the bucket index covering group, or -1.
+func BucketOf(buckets []Bucket, group string) int {
+	i := sort.Search(len(buckets), func(i int) bool { return buckets[i].Hi >= group })
+	if i == len(buckets) || buckets[i].Lo > group {
+		return -1
+	}
+	return i
+}
+
+// BucketResult maps bucket index to its aggregate.
+type BucketResult map[int]GroupAgg
+
+// RunHistogram executes the histogram-based protocol: each PDS tags its
+// (non-deterministically encrypted) tuple with the public bucket id of its
+// group; the SSI partitions by bucket id — the only thing it learns — and
+// each bucket goes to a token that returns the bucket aggregate. The
+// result is coarse: per bucket, not per group (see EstimateGroups).
+func RunHistogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	buckets []Bucket) (BucketResult, RunStats, error) {
+
+	var stats RunStats
+	if len(parts) == 0 {
+		return nil, stats, ErrNoParticipants
+	}
+	if len(buckets) == 0 {
+		return nil, stats, fmt.Errorf("gquery: no buckets")
+	}
+
+	// Collection: bucket id rides in clear, everything else encrypted.
+	for _, p := range parts {
+		for seq, t := range p.Tuples {
+			bkt := BucketOf(buckets, t.Group)
+			if bkt < 0 {
+				return nil, stats, fmt.Errorf("gquery: group %q outside bucketized domain", t.Group)
+			}
+			pt := encodeTuplePlain(tuplePlain{
+				ID:    ssi.HashID(p.ID, seq),
+				Group: t.Group,
+				Value: t.Value,
+			})
+			vct, err := kr.NonDet.Encrypt(pt)
+			if err != nil {
+				return nil, stats, err
+			}
+			body := make([]byte, 2+len(vct))
+			binary.LittleEndian.PutUint16(body[:2], uint16(bkt))
+			copy(body[2:], vct)
+			srv.Receive(net.Send(netsim.Envelope{
+				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, body),
+			}))
+		}
+	}
+
+	chunks, err := srv.Partition(1 << 30)
+	if err != nil {
+		return nil, stats, err
+	}
+	byBucket := map[int][]netsim.Envelope{}
+	for _, chunk := range chunks {
+		for _, env := range chunk {
+			bkt, ok := peekBucketID(env.Payload)
+			if !ok {
+				bkt = -1 // malformed → flagged by the token below
+			}
+			var key [2]byte
+			binary.LittleEndian.PutUint16(key[:], uint16(bkt))
+			srv.ObserveGroup(key[:])
+			byBucket[bkt] = append(byBucket[bkt], env)
+		}
+	}
+	stats.Chunks = len(byBucket)
+
+	// Aggregation per bucket.
+	res := BucketResult{}
+	var idSum uint64
+	var count int64
+	worker := 0
+	for bkt, envs := range byBucket {
+		w := parts[worker%len(parts)].ID
+		worker++
+		var agg GroupAgg
+		for _, env := range envs {
+			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "bucket-chunk", Payload: env.Payload})
+			body, err := open(kr, env.Payload)
+			if err != nil {
+				stats.MACFailures++
+				stats.Detected = true
+				continue
+			}
+			pt, err := kr.NonDet.Decrypt(body[2:])
+			if err != nil {
+				stats.MACFailures++
+				stats.Detected = true
+				continue
+			}
+			t, err := decodeTuplePlain(pt)
+			if err != nil {
+				return nil, stats, err
+			}
+			idSum += t.ID
+			count++
+			agg = agg.Fold(t.Value)
+		}
+		stats.WorkerCalls++
+		if bkt >= 0 {
+			res[bkt] = res[bkt].Merge(agg)
+		}
+		net.Send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: make([]byte, 48)})
+	}
+
+	wantID, wantCount := expectedChecksum(parts, nil)
+	if idSum != wantID || count != wantCount {
+		stats.Detected = true
+	}
+	stats.Net = net.Stats()
+	if stats.Detected {
+		return res, stats, ErrDetected
+	}
+	return res, stats, nil
+}
+
+// peekBucketID extracts the clear bucket id the SSI partitions on.
+func peekBucketID(payload []byte) (int, bool) {
+	if len(payload) < 2+2+32 {
+		return 0, false
+	}
+	n := int(binary.LittleEndian.Uint16(payload[:2]))
+	if len(payload) != 2+n+32 || n < 2 {
+		return 0, false
+	}
+	return int(binary.LittleEndian.Uint16(payload[2:4])), true
+}
+
+// EstimateGroups expands a bucket-level result into per-group estimates
+// under the uniform-within-bucket assumption — the accuracy/leakage
+// trade-off knob of the histogram protocol: more buckets, better accuracy,
+// more leakage.
+func EstimateGroups(br BucketResult, buckets []Bucket) Result {
+	out := Result{}
+	for i, b := range buckets {
+		agg, ok := br[i]
+		if !ok || len(b.Groups) == 0 {
+			continue
+		}
+		n := int64(len(b.Groups))
+		for j, g := range b.Groups {
+			// Min/Max inherit the bucket's bounds: valid (if loose)
+			// bounds for every covered group.
+			share := GroupAgg{Sum: agg.Sum / n, Count: agg.Count / n, Min: agg.Min, Max: agg.Max}
+			if int64(j) < agg.Count%n {
+				share.Count++
+			}
+			if int64(j) < agg.Sum%n {
+				share.Sum++
+			}
+			out[g] = share
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package gquery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"pds/internal/netsim"
+	"pds/internal/ssi"
+)
+
+// NoiseKind selects how fake tuples are drawn in the noise-based protocol.
+type NoiseKind int
+
+// Noise strategies from [TNP14].
+const (
+	// NoNoise sends only true tuples: the SSI observes the exact group
+	// frequency distribution (maximum leakage, minimum cost).
+	NoNoise NoiseKind = iota
+	// WhiteNoise draws fake groups uniformly from the whole domain.
+	WhiteNoise
+	// ControlledNoise draws fake groups from the complementary domain —
+	// groups the participant does NOT hold — which flattens the observed
+	// distribution faster per fake tuple.
+	ControlledNoise
+)
+
+func (k NoiseKind) String() string {
+	switch k {
+	case NoNoise:
+		return "none"
+	case WhiteNoise:
+		return "white"
+	case ControlledNoise:
+		return "controlled"
+	default:
+		return fmt.Sprintf("NoiseKind(%d)", int(k))
+	}
+}
+
+// RunNoise executes the noise-based protocol (deterministic encryption +
+// fake tuples): the grouping attribute travels under deterministic
+// encryption so the SSI groups equal values itself — no worker tokens are
+// needed for partitioning — while each group's measure ciphertexts go to a
+// token that discards fakes and aggregates. noisePerTuple fakes are
+// injected per true tuple (fractional values are rounded stochastically).
+// Results are exact; leakage is the noised frequency histogram.
+func RunNoise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
+
+	var stats RunStats
+	if len(parts) == 0 {
+		return nil, stats, ErrNoParticipants
+	}
+	if kind != NoNoise && len(domain) == 0 {
+		return nil, stats, fmt.Errorf("gquery: noise needs a public domain")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fakesPer := map[string]int{}
+
+	// Collection: true tuples first, then fakes, under one id sequence.
+	for _, p := range parts {
+		seq := 0
+		send := func(group string, value int64, fake bool) error {
+			pt := encodeTuplePlain(tuplePlain{
+				ID:    ssi.HashID(p.ID, seq),
+				Group: group,
+				Value: value,
+				Fake:  fake,
+			})
+			seq++
+			gct, err := kr.Det.Encrypt([]byte(group))
+			if err != nil {
+				return err
+			}
+			vct, err := kr.NonDet.Encrypt(pt)
+			if err != nil {
+				return err
+			}
+			payload := make([]byte, 2+len(gct)+len(vct))
+			binary.LittleEndian.PutUint16(payload[:2], uint16(len(gct)))
+			copy(payload[2:], gct)
+			copy(payload[2+len(gct):], vct)
+			srv.Receive(net.Send(netsim.Envelope{
+				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, payload),
+			}))
+			return nil
+		}
+		held := map[string]bool{}
+		for _, t := range p.Tuples {
+			held[t.Group] = true
+			if err := send(t.Group, t.Value, false); err != nil {
+				return nil, stats, err
+			}
+		}
+		if kind != NoNoise {
+			nf := int(noisePerTuple * float64(len(p.Tuples)))
+			if rng.Float64() < noisePerTuple*float64(len(p.Tuples))-float64(nf) {
+				nf++
+			}
+			for f := 0; f < nf; f++ {
+				g, ok := drawFakeGroup(rng, domain, held, kind)
+				if !ok {
+					break // domain exhausted for controlled noise
+				}
+				if err := send(g, 0, true); err != nil {
+					return nil, stats, err
+				}
+				fakesPer[p.ID]++
+				stats.FakeTuples++
+			}
+		}
+	}
+
+	// The SSI groups by equal deterministic ciphertext — its whole
+	// advantage, and its whole leakage.
+	chunks, err := srv.Partition(1 << 30) // one logical batch
+	if err != nil {
+		return nil, stats, err
+	}
+	groups := map[string][]netsim.Envelope{}
+	var forged []netsim.Envelope
+	for _, chunk := range chunks {
+		for _, env := range chunk {
+			gct, ok := splitNoisePayload(env.Payload)
+			if !ok {
+				// Malformed: route to a token anyway; it will flag it.
+				forged = append(forged, env)
+				continue
+			}
+			srv.ObserveGroup(gct)
+			groups[string(gct)] = append(groups[string(gct)], env)
+		}
+	}
+	stats.Chunks = len(groups)
+
+	// Aggregation: one token call per observed group.
+	var partials []partialAgg
+	worker := 0
+	processEnv := func(partial *partialAgg, env netsim.Envelope) error {
+		body, err := open(kr, env.Payload)
+		if err != nil {
+			stats.MACFailures++
+			stats.Detected = true
+			return nil
+		}
+		n := int(binary.LittleEndian.Uint16(body[:2]))
+		vct := body[2+n:]
+		pt, err := kr.NonDet.Decrypt(vct)
+		if err != nil {
+			stats.MACFailures++
+			stats.Detected = true
+			return nil
+		}
+		t, err := decodeTuplePlain(pt)
+		if err != nil {
+			return err
+		}
+		partial.IDSum += t.ID
+		partial.Count++
+		if !t.Fake {
+			partial.Aggs[t.Group] = partial.Aggs[t.Group].Fold(t.Value)
+		}
+		return nil
+	}
+	for _, envs := range groups {
+		w := parts[worker%len(parts)].ID
+		worker++
+		partial := partialAgg{Aggs: map[string]GroupAgg{}}
+		for _, env := range envs {
+			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload})
+			if err := processEnv(&partial, env); err != nil {
+				return nil, stats, err
+			}
+		}
+		stats.WorkerCalls++
+		pct, err := kr.NonDet.Encrypt(encodePartial(partial))
+		if err != nil {
+			return nil, stats, err
+		}
+		net.Send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: seal(kr, pct)})
+		partials = append(partials, partial)
+	}
+	if len(forged) > 0 {
+		w := parts[0].ID
+		partial := partialAgg{Aggs: map[string]GroupAgg{}}
+		for _, env := range forged {
+			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload})
+			if err := processEnv(&partial, env); err != nil {
+				return nil, stats, err
+			}
+		}
+		partials = append(partials, partial)
+	}
+
+	// Merge + integrity check.
+	wantID, wantCount := expectedChecksum(parts, fakesPer)
+	res, detected := mergePartials(partials, wantID, wantCount)
+	if detected {
+		stats.Detected = true
+	}
+	stats.Net = net.Stats()
+	if stats.Detected {
+		return res, stats, ErrDetected
+	}
+	return res, stats, nil
+}
+
+// splitNoisePayload extracts the deterministic group ciphertext from a
+// sealed noise-protocol payload without verifying it (that is all the SSI
+// can do: it has no keys).
+func splitNoisePayload(payload []byte) ([]byte, bool) {
+	if len(payload) < 2+2+32 {
+		return nil, false
+	}
+	// sealed: u16 ctLen | body | mac — body: u16 gctLen | gct | vct.
+	n := int(binary.LittleEndian.Uint16(payload[:2]))
+	if len(payload) != 2+n+32 || n < 2 {
+		return nil, false
+	}
+	body := payload[2 : 2+n]
+	gl := int(binary.LittleEndian.Uint16(body[:2]))
+	if 2+gl > len(body) {
+		return nil, false
+	}
+	return body[2 : 2+gl], true
+}
+
+// drawFakeGroup picks a fake group per the noise kind.
+func drawFakeGroup(rng *rand.Rand, domain []string, held map[string]bool, kind NoiseKind) (string, bool) {
+	if kind == WhiteNoise {
+		return domain[rng.Intn(len(domain))], true
+	}
+	// Controlled: from the complement of the participant's groups.
+	var comp []string
+	for _, g := range domain {
+		if !held[g] {
+			comp = append(comp, g)
+		}
+	}
+	if len(comp) == 0 {
+		return "", false
+	}
+	return comp[rng.Intn(len(comp))], true
+}

@@ -1,0 +1,109 @@
+package gquery
+
+import (
+	"pds/internal/netsim"
+	"pds/internal/ssi"
+)
+
+// RunSecureAgg executes a GROUP BY aggregate with the secure-aggregation
+// protocol (non-deterministic encryption):
+//
+//	collection : every PDS uploads Enc_nd(id|group|value) + MAC;
+//	partition  : the SSI splits the blind ciphertext set into chunks;
+//	aggregation: each chunk goes to a (participant) token that decrypts,
+//	             partially aggregates, and returns a sealed partial;
+//	merge      : a final token merges partials and verifies the tuple-id
+//	             checksum, detecting drops, duplicates and forgeries.
+//
+// The SSI observes only ciphertexts: every payload is distinct, so no
+// grouping information leaks.
+func RunSecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring, chunkSize int) (Result, RunStats, error) {
+	var stats RunStats
+	if len(parts) == 0 {
+		return nil, stats, ErrNoParticipants
+	}
+	if chunkSize < 1 {
+		return nil, stats, ErrBadChunkSize
+	}
+
+	// Collection phase.
+	for _, p := range parts {
+		for seq, t := range p.Tuples {
+			pt := encodeTuplePlain(tuplePlain{
+				ID:    ssi.HashID(p.ID, seq),
+				Group: t.Group,
+				Value: t.Value,
+			})
+			ct, err := kr.NonDet.Encrypt(pt)
+			if err != nil {
+				return nil, stats, err
+			}
+			srv.Receive(net.Send(netsim.Envelope{
+				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, ct),
+			}))
+		}
+	}
+
+	// Partition phase (where a weakly-malicious SSI misbehaves).
+	chunks, err := srv.Partition(chunkSize)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Chunks = len(chunks)
+
+	// Aggregation phase: tokens process chunks.
+	var partials []partialAgg
+	for i, chunk := range chunks {
+		worker := parts[i%len(parts)].ID
+		partial := partialAgg{Aggs: map[string]GroupAgg{}}
+		for _, env := range chunk {
+			net.Send(netsim.Envelope{From: "ssi", To: worker, Kind: "chunk", Payload: env.Payload})
+			ct, err := open(kr, env.Payload)
+			if err != nil {
+				stats.MACFailures++
+				stats.Detected = true
+				continue
+			}
+			pt, err := kr.NonDet.Decrypt(ct)
+			if err != nil {
+				stats.MACFailures++
+				stats.Detected = true
+				continue
+			}
+			t, err := decodeTuplePlain(pt)
+			if err != nil {
+				return nil, stats, err
+			}
+			partial.IDSum += t.ID
+			partial.Count++
+			if !t.Fake {
+				partial.Aggs[t.Group] = partial.Aggs[t.Group].Fold(t.Value)
+			}
+		}
+		stats.WorkerCalls++
+		// Worker → SSI → final token: the partial rides sealed and
+		// non-deterministically encrypted.
+		pct, err := kr.NonDet.Encrypt(encodePartial(partial))
+		if err != nil {
+			return nil, stats, err
+		}
+		net.Send(netsim.Envelope{From: worker, To: "ssi", Kind: "partial", Payload: seal(kr, pct)})
+		partials = append(partials, partial)
+	}
+
+	// Merge phase at the final token.
+	finalTo := parts[0].ID
+	for range partials {
+		net.Send(netsim.Envelope{From: "ssi", To: finalTo, Kind: "merge", Payload: nil})
+	}
+	wantID, wantCount := expectedChecksum(parts, nil)
+	res, detected := mergePartials(partials, wantID, wantCount)
+	if detected {
+		stats.Detected = true
+	}
+	stats.Net = net.Stats()
+	if stats.Detected {
+		return res, stats, ErrDetected
+	}
+	return res, stats, nil
+}

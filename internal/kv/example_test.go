@@ -1,0 +1,26 @@
+package kv_test
+
+import (
+	"fmt"
+
+	"pds/internal/flash"
+	"pds/internal/kv"
+)
+
+// A log-only key-value store: puts append, gets use Bloom page summaries,
+// compaction reclaims superseded versions — never a random flash write.
+func Example() {
+	chip := flash.NewChip(flash.SmallGeometry())
+	store := kv.Open(flash.NewAllocator(chip))
+	defer store.Close()
+
+	store.Put([]byte("city"), []byte("Lyon"))
+	store.Put([]byte("city"), []byte("Paris")) // supersedes
+
+	v, _, _ := store.Get([]byte("city"))
+	fmt.Printf("%s\n", v)
+	fmt.Println("erases during operation:", chip.Stats().BlockErases)
+	// Output:
+	// Paris
+	// erases during operation: 0
+}

@@ -1,0 +1,19 @@
+package logstore
+
+import "testing"
+
+// FuzzDecodePage checks that arbitrary page images never panic the record
+// decoder — corrupt flash must surface as an error, not a crash.
+func FuzzDecodePage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 3, 0, 'a', 'b', 'c'})
+	f.Add([]byte{255, 255, 0, 0})
+	f.Fuzz(func(t *testing.T, img []byte) {
+		recs, err := decodePage(img)
+		if err == nil {
+			for _, r := range recs {
+				_ = len(r)
+			}
+		}
+	})
+}

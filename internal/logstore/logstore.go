@@ -1,0 +1,393 @@
+// Package logstore provides the sequential ("log-only") storage structures
+// at the heart of the tutorial's framework for resource-constrained data
+// management:
+//
+//  1. pages are written strictly sequentially and never updated or moved,
+//     so random flash writes are avoided by construction;
+//  2. allocation and deallocation happen at erase-block grain, so partial
+//     garbage collection never occurs;
+//  3. scalability comes from reorganizing logs into more efficient
+//     structures using only further logs (see Sort).
+//
+// A PageWriter hands out physical pages in append order — the primitive on
+// which record logs, chained hash buckets and reorganized trees are built.
+// A Log stores variable-size records packed into pages.
+package logstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pds/internal/flash"
+)
+
+// Errors returned by logstore operations.
+var (
+	ErrRecordTooLarge = errors.New("logstore: record larger than page payload")
+	ErrClosed         = errors.New("logstore: structure dropped")
+	ErrBadRecordID    = errors.New("logstore: record id out of range")
+)
+
+// PageWriter appends pages to flash, allocating blocks on demand. Pages are
+// written in strictly increasing order inside each block, satisfying the
+// NAND discipline. The writer remembers the physical pages it produced so
+// the structure can later be scanned or dropped at block grain.
+type PageWriter struct {
+	alloc  *flash.Allocator
+	blocks []int
+	// nextInBlock is the page offset inside the last block that will be
+	// written next; PagesPerBlock means "need a fresh block".
+	nextInBlock int
+	pages       int
+	closed      bool
+}
+
+// NewPageWriter creates a writer drawing blocks from alloc.
+func NewPageWriter(alloc *flash.Allocator) *PageWriter {
+	return &PageWriter{alloc: alloc, nextInBlock: alloc.Chip().Geometry().PagesPerBlock}
+}
+
+// Write appends one page of data and returns its physical page number.
+func (w *PageWriter) Write(data []byte) (int, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	g := w.alloc.Chip().Geometry()
+	if w.nextInBlock == g.PagesPerBlock {
+		b, err := w.alloc.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		w.blocks = append(w.blocks, b)
+		w.nextInBlock = 0
+	}
+	b := w.blocks[len(w.blocks)-1]
+	phys := b*g.PagesPerBlock + w.nextInBlock
+	if err := w.alloc.Chip().WritePage(phys, data); err != nil {
+		return 0, err
+	}
+	w.nextInBlock++
+	w.pages++
+	return phys, nil
+}
+
+// Pages returns how many pages have been written.
+func (w *PageWriter) Pages() int { return w.pages }
+
+// Blocks returns the blocks owned by this writer, in allocation order.
+func (w *PageWriter) Blocks() []int { return w.blocks }
+
+// PhysPage maps a logical page index (0-based, in write order) to the
+// physical page number.
+func (w *PageWriter) PhysPage(logical int) (int, error) {
+	if logical < 0 || logical >= w.pages {
+		return 0, fmt.Errorf("%w: logical page %d of %d", ErrBadRecordID, logical, w.pages)
+	}
+	g := w.alloc.Chip().Geometry()
+	return w.blocks[logical/g.PagesPerBlock]*g.PagesPerBlock + logical%g.PagesPerBlock, nil
+}
+
+// Drop frees (erases) every block owned by the writer.
+func (w *PageWriter) Drop() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	for _, b := range w.blocks {
+		if err := w.alloc.Free(b); err != nil {
+			return err
+		}
+	}
+	w.blocks = nil
+	return nil
+}
+
+// Chip returns the underlying flash chip (for I/O accounting).
+func (w *PageWriter) Chip() *flash.Chip { return w.alloc.Chip() }
+
+// Alloc returns the allocator the writer draws from.
+func (w *PageWriter) Alloc() *flash.Allocator { return w.alloc }
+
+// RecordID locates a record inside a Log: logical page and slot in page.
+type RecordID struct {
+	Page int32
+	Slot int32
+}
+
+// Page layout of a Log page:
+//
+//	u16 count | count × { u16 len | len bytes }
+const pageHeader = 2
+const slotHeader = 2
+
+// MaxRecord returns the largest record storable in a log over geometry g.
+func MaxRecord(g flash.Geometry) int { return g.PageSize - pageHeader - slotHeader }
+
+// Log is an append-only record log. Appends are buffered into an in-RAM
+// page image (one page of RAM, consistent with the MCU model) and flushed
+// when the page fills or Flush is called.
+type Log struct {
+	w    *PageWriter
+	buf  []byte // current page image
+	cnt  int    // records in buf
+	recs int    // total records appended (including buffered)
+	// flushedRecs counts records durable in flash.
+	flushedRecs int
+	// onFlush, if set, observes each page as it is flushed (used by
+	// summary structures that maintain one Bloom filter per page).
+	onFlush func(page int, recs [][]byte) error
+}
+
+// OnFlush registers f to be called with the logical page number and the
+// records of each page at the moment it is flushed to flash. Record slices
+// passed to f are views into the page image and must not be retained.
+func (l *Log) OnFlush(f func(page int, recs [][]byte) error) { l.onFlush = f }
+
+// NewLog creates an empty log drawing blocks from alloc.
+func NewLog(alloc *flash.Allocator) *Log {
+	return &Log{w: NewPageWriter(alloc)}
+}
+
+// pageSize returns the device page size.
+func (l *Log) pageSize() int { return l.w.alloc.Chip().Geometry().PageSize }
+
+// Append adds one record to the log and returns its id.
+func (l *Log) Append(rec []byte) (RecordID, error) {
+	max := MaxRecord(l.w.alloc.Chip().Geometry())
+	if len(rec) > max {
+		return RecordID{}, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, len(rec), max)
+	}
+	need := slotHeader + len(rec)
+	if l.buf == nil {
+		l.buf = make([]byte, pageHeader, l.pageSize())
+	}
+	if len(l.buf)+need > l.pageSize() {
+		if err := l.Flush(); err != nil {
+			return RecordID{}, err
+		}
+		l.buf = make([]byte, pageHeader, l.pageSize())
+	}
+	id := RecordID{Page: int32(l.w.Pages()), Slot: int32(l.cnt)}
+	var lenb [2]byte
+	binary.LittleEndian.PutUint16(lenb[:], uint16(len(rec)))
+	l.buf = append(l.buf, lenb[:]...)
+	l.buf = append(l.buf, rec...)
+	l.cnt++
+	l.recs++
+	return id, nil
+}
+
+// Flush writes the buffered page, if any, to flash.
+func (l *Log) Flush() error {
+	if l.cnt == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint16(l.buf[:2], uint16(l.cnt))
+	page := l.w.Pages()
+	if _, err := l.w.Write(l.buf); err != nil {
+		return err
+	}
+	if l.onFlush != nil {
+		recs, err := decodePage(l.buf)
+		if err != nil {
+			return err
+		}
+		if err := l.onFlush(page, recs); err != nil {
+			return err
+		}
+	}
+	l.flushedRecs += l.cnt
+	l.buf = nil
+	l.cnt = 0
+	return nil
+}
+
+// PageRecords reads one flushed page and returns its records (one page
+// I/O). The slices are freshly allocated.
+func (l *Log) PageRecords(logical int) ([][]byte, error) {
+	phys, err := l.w.PhysPage(logical)
+	if err != nil {
+		return nil, err
+	}
+	img, err := l.w.Chip().Page(phys)
+	if err != nil {
+		return nil, err
+	}
+	return decodePage(img)
+}
+
+// Buffered returns copies of the records not yet flushed to flash.
+func (l *Log) Buffered() ([][]byte, error) {
+	recs, err := decodePageBuffered(l.buf, l.cnt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(recs))
+	for i, r := range recs {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out, nil
+}
+
+// Len returns the number of records appended (flushed or buffered).
+func (l *Log) Len() int { return l.recs }
+
+// Pages returns the number of flash pages the log occupies (flushed only).
+func (l *Log) Pages() int { return l.w.Pages() }
+
+// Blocks returns the erase blocks the log occupies.
+func (l *Log) Blocks() []int { return l.w.Blocks() }
+
+// Drop flushes nothing and frees every block.
+func (l *Log) Drop() error {
+	l.buf = nil
+	l.cnt = 0
+	return l.w.Drop()
+}
+
+// Chip exposes the chip for I/O accounting.
+func (l *Log) Chip() *flash.Chip { return l.w.Chip() }
+
+// Alloc exposes the allocator (to create sibling structures).
+func (l *Log) Alloc() *flash.Allocator { return l.w.alloc }
+
+// decodePage parses a page image into record slices (views into page).
+func decodePage(page []byte) ([][]byte, error) {
+	if len(page) < pageHeader {
+		return nil, nil
+	}
+	cnt := int(binary.LittleEndian.Uint16(page[:2]))
+	recs := make([][]byte, 0, cnt)
+	off := pageHeader
+	for i := 0; i < cnt; i++ {
+		if off+slotHeader > len(page) {
+			return nil, fmt.Errorf("logstore: corrupt page: slot %d header past end", i)
+		}
+		n := int(binary.LittleEndian.Uint16(page[off : off+2]))
+		off += slotHeader
+		if off+n > len(page) {
+			return nil, fmt.Errorf("logstore: corrupt page: slot %d data past end", i)
+		}
+		recs = append(recs, page[off:off+n])
+		off += n
+	}
+	return recs, nil
+}
+
+// ReadAt fetches one record by id. Records still in the write buffer are
+// readable too (they belong to the logical page l.w.Pages()).
+func (l *Log) ReadAt(id RecordID) ([]byte, error) {
+	if int(id.Page) == l.w.Pages() {
+		// Buffered page.
+		recs, err := decodePageBuffered(l.buf, l.cnt)
+		if err != nil {
+			return nil, err
+		}
+		if int(id.Slot) >= len(recs) {
+			return nil, ErrBadRecordID
+		}
+		out := make([]byte, len(recs[id.Slot]))
+		copy(out, recs[id.Slot])
+		return out, nil
+	}
+	phys, err := l.w.PhysPage(int(id.Page))
+	if err != nil {
+		return nil, err
+	}
+	page, err := l.w.Chip().Page(phys)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := decodePage(page)
+	if err != nil {
+		return nil, err
+	}
+	if int(id.Slot) >= len(recs) {
+		return nil, ErrBadRecordID
+	}
+	out := make([]byte, len(recs[id.Slot]))
+	copy(out, recs[id.Slot])
+	return out, nil
+}
+
+// decodePageBuffered decodes the in-RAM buffer which has no count yet.
+func decodePageBuffered(buf []byte, cnt int) ([][]byte, error) {
+	if buf == nil || cnt == 0 {
+		return nil, nil
+	}
+	tmp := make([]byte, len(buf))
+	copy(tmp, buf)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(cnt))
+	return decodePage(tmp)
+}
+
+// Iterator scans a log forward, reading one page of flash at a time —
+// the pipelined access pattern the MCU RAM budget dictates.
+type Iterator struct {
+	log     *Log
+	page    int      // next logical page to load
+	cur     [][]byte // records of the loaded page
+	curPage int      // logical page currently loaded
+	slot    int
+	err     error
+}
+
+// Iter returns an iterator positioned before the first record. The caller
+// should have Flushed the log if it wants buffered records included; the
+// iterator also serves the write buffer at the end, so a flush is not
+// mandatory for correctness.
+func (l *Log) Iter() *Iterator {
+	return &Iterator{log: l, curPage: -1}
+}
+
+// Next returns the next record, a RecordID, and false at end. The returned
+// slice is only valid until the following Next call.
+func (it *Iterator) Next() ([]byte, RecordID, bool) {
+	if it.err != nil {
+		return nil, RecordID{}, false
+	}
+	for {
+		if it.cur != nil && it.slot < len(it.cur) {
+			rec := it.cur[it.slot]
+			id := RecordID{Page: int32(it.curPage), Slot: int32(it.slot)}
+			it.slot++
+			return rec, id, true
+		}
+		// Load next page.
+		if it.page < it.log.w.Pages() {
+			phys, err := it.log.w.PhysPage(it.page)
+			if err != nil {
+				it.err = err
+				return nil, RecordID{}, false
+			}
+			img, err := it.log.w.Chip().Page(phys)
+			if err != nil {
+				it.err = err
+				return nil, RecordID{}, false
+			}
+			recs, err := decodePage(img)
+			if err != nil {
+				it.err = err
+				return nil, RecordID{}, false
+			}
+			it.cur, it.curPage, it.slot = recs, it.page, 0
+			it.page++
+			continue
+		}
+		// Serve the buffered page once.
+		if it.curPage < it.log.w.Pages() && it.log.cnt > 0 {
+			recs, err := decodePageBuffered(it.log.buf, it.log.cnt)
+			if err != nil {
+				it.err = err
+				return nil, RecordID{}, false
+			}
+			it.cur, it.curPage, it.slot = recs, it.log.w.Pages(), 0
+			continue
+		}
+		return nil, RecordID{}, false
+	}
+}
+
+// Err returns the first error the iterator hit, if any.
+func (it *Iterator) Err() error { return it.err }

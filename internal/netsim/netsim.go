@@ -1,0 +1,116 @@
+// Package netsim is the accounting plane of the asymmetric PDS
+// architecture: an in-process message fabric connecting secure tokens to
+// the untrusted Supporting Server Infrastructure. Protocols run in-process
+// for determinism; every envelope they exchange is recorded here, so
+// benchmarks report exact message/byte counts and a simulated wall-clock
+// under a configurable latency/bandwidth model, and adversaries can tap
+// the wire to model eavesdropping.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Envelope is one message on the wire. Payload is whatever the sender put
+// there — for a privacy-preserving protocol, ciphertext.
+type Envelope struct {
+	From    string
+	To      string
+	Kind    string // protocol phase tag, e.g. "tuple", "chunk", "partial"
+	Payload []byte
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// CostModel converts traffic into simulated elapsed time assuming serial
+// delivery: Messages·Latency + Bytes/Bandwidth.
+type CostModel struct {
+	Latency   time.Duration // per message
+	Bandwidth float64       // bytes per second
+}
+
+// DefaultCostModel models tokens behind domestic connections: 20 ms RTT,
+// 1 MB/s upstream.
+func DefaultCostModel() CostModel {
+	return CostModel{Latency: 20 * time.Millisecond, Bandwidth: 1 << 20}
+}
+
+// Time returns the simulated time for the counted traffic.
+func (s Stats) Time(m CostModel) time.Duration {
+	t := time.Duration(s.Messages) * m.Latency
+	if m.Bandwidth > 0 {
+		t += time.Duration(float64(s.Bytes) / m.Bandwidth * float64(time.Second))
+	}
+	return t
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs=%d bytes=%d", s.Messages, s.Bytes)
+}
+
+// Network counts and exposes traffic. It is safe for concurrent use.
+type Network struct {
+	mu      sync.Mutex
+	stats   Stats
+	perKind map[string]Stats
+	taps    []func(Envelope)
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{perKind: map[string]Stats{}}
+}
+
+// Send records one envelope and notifies taps. It returns the envelope so
+// call sites can write `recipient.Handle(net.Send(env))`.
+func (n *Network) Send(e Envelope) Envelope {
+	n.mu.Lock()
+	n.stats.Messages++
+	n.stats.Bytes += int64(len(e.Payload))
+	k := n.perKind[e.Kind]
+	k.Messages++
+	k.Bytes += int64(len(e.Payload))
+	n.perKind[e.Kind] = k
+	taps := n.taps
+	n.mu.Unlock()
+	for _, t := range taps {
+		t(e)
+	}
+	return e
+}
+
+// Tap registers an observer called for every envelope (an eavesdropper or
+// a test probe). Taps must not block.
+func (n *Network) Tap(f func(Envelope)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.taps = append(n.taps, f)
+}
+
+// Stats returns total traffic.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// KindStats returns traffic for one protocol phase.
+func (n *Network) KindStats(kind string) Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.perKind[kind]
+}
+
+// Reset zeroes all counters.
+func (n *Network) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+	n.perKind = map[string]Stats{}
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendCounts(t *testing.T) {
+	n := New()
+	n.Send(Envelope{From: "a", To: "b", Kind: "x", Payload: make([]byte, 10)})
+	n.Send(Envelope{From: "a", To: "b", Kind: "y", Payload: make([]byte, 5)})
+	s := n.Stats()
+	if s.Messages != 2 || s.Bytes != 15 {
+		t.Errorf("stats = %+v", s)
+	}
+	if ks := n.KindStats("x"); ks.Messages != 1 || ks.Bytes != 10 {
+		t.Errorf("kind x = %+v", ks)
+	}
+	if ks := n.KindStats("missing"); ks.Messages != 0 {
+		t.Errorf("missing kind = %+v", ks)
+	}
+}
+
+func TestSendReturnsEnvelope(t *testing.T) {
+	n := New()
+	e := n.Send(Envelope{From: "a", To: "b", Payload: []byte("p")})
+	if e.From != "a" || string(e.Payload) != "p" {
+		t.Errorf("returned envelope = %+v", e)
+	}
+}
+
+func TestTapObservesAll(t *testing.T) {
+	n := New()
+	var seen []Envelope
+	n.Tap(func(e Envelope) { seen = append(seen, e) })
+	n.Send(Envelope{Kind: "a"})
+	n.Send(Envelope{Kind: "b"})
+	if len(seen) != 2 || seen[0].Kind != "a" || seen[1].Kind != "b" {
+		t.Errorf("tap saw %v", seen)
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := New()
+	n.Send(Envelope{Kind: "x", Payload: []byte("abc")})
+	n.Reset()
+	if s := n.Stats(); s.Messages != 0 || s.Bytes != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	if ks := n.KindStats("x"); ks.Messages != 0 {
+		t.Errorf("kind stats after reset = %+v", ks)
+	}
+}
+
+func TestStatsTime(t *testing.T) {
+	m := CostModel{Latency: 10 * time.Millisecond, Bandwidth: 1000}
+	s := Stats{Messages: 2, Bytes: 500}
+	want := 20*time.Millisecond + 500*time.Millisecond
+	if got := s.Time(m); got != want {
+		t.Errorf("Time = %v, want %v", got, want)
+	}
+	// Zero bandwidth: latency only.
+	if got := s.Time(CostModel{Latency: time.Millisecond}); got != 2*time.Millisecond {
+		t.Errorf("latency-only Time = %v", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if got := (Stats{Messages: 3, Bytes: 9}).String(); got != "msgs=3 bytes=9" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				n.Send(Envelope{Kind: "k", Payload: []byte{1}})
+			}
+		}()
+	}
+	wg.Wait()
+	if s := n.Stats(); s.Messages != 1600 || s.Bytes != 1600 {
+		t.Errorf("concurrent stats = %+v", s)
+	}
+}

@@ -1,0 +1,136 @@
+package privcrypto
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// ElGamal is the third homomorphic cryptosystem the tutorial names
+// alongside RSA and Paillier. Like textbook RSA it is multiplicatively
+// homomorphic: E(m1)·E(m2) decrypts to m1·m2. Unlike RSA it is
+// *probabilistic* — two encryptions of the same plaintext differ — which
+// is why it appears in protocols that need homomorphism without equality
+// leakage.
+//
+// The group is the order-q subgroup of Z_p* for a safe prime p = 2q+1
+// (messages are mapped into the subgroup by squaring, so the scheme here
+// handles messages in [1, q]).
+type ElGamalKey struct {
+	P *big.Int // safe prime
+	Q *big.Int // (p-1)/2
+	G *big.Int // generator of the order-q subgroup
+	Y *big.Int // g^x
+	x *big.Int // private exponent
+}
+
+// ElGamalCipher is one ciphertext pair (c1, c2) = (g^r, m'·y^r).
+type ElGamalCipher struct {
+	C1, C2 *big.Int
+}
+
+// GenerateElGamal creates a key over an n-bit safe prime. Generation
+// searches for a safe prime, so prefer modest sizes (>= 256) in tests.
+func GenerateElGamal(bits int, random io.Reader) (*ElGamalKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("privcrypto: modulus too small (%d bits)", bits)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		q, err := rand.Prime(random, bits-1)
+		if err != nil {
+			return nil, err
+		}
+		p := new(big.Int).Lsh(q, 1)
+		p.Add(p, one)
+		if !p.ProbablyPrime(20) {
+			continue
+		}
+		// g = 4 = 2² generates the quadratic residues.
+		g := big.NewInt(4)
+		x, err := rand.Int(random, q)
+		if err != nil {
+			return nil, err
+		}
+		if x.Sign() == 0 {
+			continue
+		}
+		y := new(big.Int).Exp(g, x, p)
+		return &ElGamalKey{P: p, Q: q, G: g, Y: y, x: x}, nil
+	}
+}
+
+// encode maps m ∈ [1, q] to a quadratic residue: m² mod p. Squaring is a
+// bijection from [1, q] onto the residues, inverted by decode.
+func (k *ElGamalKey) encode(m *big.Int) (*big.Int, error) {
+	if m.Sign() <= 0 || m.Cmp(k.Q) > 0 {
+		return nil, fmt.Errorf("%w: %v not in [1, q]", ErrMessageRange, m)
+	}
+	return new(big.Int).Exp(m, big.NewInt(2), k.P), nil
+}
+
+// decode inverts encode: the square root of c in [1, q].
+func (k *ElGamalKey) decode(c *big.Int) (*big.Int, error) {
+	// p = 2q+1 ≡ 3 (mod 4), so a root is c^((p+1)/4) mod p.
+	e := new(big.Int).Add(k.P, one)
+	e.Rsh(e, 2)
+	r := new(big.Int).Exp(c, e, k.P)
+	// Pick the root in [1, q].
+	if r.Cmp(k.Q) > 0 {
+		r.Sub(k.P, r)
+	}
+	if r.Sign() == 0 || r.Cmp(k.Q) > 0 {
+		return nil, fmt.Errorf("%w: no root in range", ErrBadCipher)
+	}
+	return r, nil
+}
+
+// Encrypt encrypts m ∈ [1, q] with fresh randomness.
+func (k *ElGamalKey) Encrypt(m *big.Int, random io.Reader) (*ElGamalCipher, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	em, err := k.encode(m)
+	if err != nil {
+		return nil, err
+	}
+	r, err := rand.Int(random, k.Q)
+	if err != nil {
+		return nil, err
+	}
+	c1 := new(big.Int).Exp(k.G, r, k.P)
+	c2 := new(big.Int).Exp(k.Y, r, k.P)
+	c2.Mul(c2, em)
+	c2.Mod(c2, k.P)
+	return &ElGamalCipher{C1: c1, C2: c2}, nil
+}
+
+// Decrypt recovers the plaintext: m' = c2 · c1^{-x}; m = decode(m').
+func (k *ElGamalKey) Decrypt(c *ElGamalCipher) (*big.Int, error) {
+	if c == nil || c.C1 == nil || c.C2 == nil ||
+		c.C1.Sign() <= 0 || c.C1.Cmp(k.P) >= 0 ||
+		c.C2.Sign() <= 0 || c.C2.Cmp(k.P) >= 0 {
+		return nil, fmt.Errorf("%w: malformed ElGamal pair", ErrBadCipher)
+	}
+	s := new(big.Int).Exp(c.C1, k.x, k.P)
+	sInv := new(big.Int).ModInverse(s, k.P)
+	if sInv == nil {
+		return nil, fmt.Errorf("%w: non-invertible mask", ErrBadCipher)
+	}
+	em := new(big.Int).Mul(c.C2, sInv)
+	em.Mod(em, k.P)
+	return k.decode(em)
+}
+
+// MulCipher multiplies two ciphertexts component-wise; the product
+// decrypts to m1·m2 mod (the subgroup), valid while m1·m2 <= q.
+func (k *ElGamalKey) MulCipher(a, b *ElGamalCipher) *ElGamalCipher {
+	c1 := new(big.Int).Mul(a.C1, b.C1)
+	c1.Mod(c1, k.P)
+	c2 := new(big.Int).Mul(a.C2, b.C2)
+	c2.Mod(c2, k.P)
+	return &ElGamalCipher{C1: c1, C2: c2}
+}

@@ -1,0 +1,156 @@
+// Package privcrypto provides the cryptographic building blocks of the
+// tutorial's Part III: the Paillier additively homomorphic cryptosystem
+// (the "secure computation of +" primitive behind encrypted aggregation),
+// a textbook RSA instance demonstrating multiplicative homomorphism, and
+// the two symmetric encryption modes the [TNP14] protocols distinguish:
+// non-deterministic (reveals nothing, supports token-side aggregation only)
+// and deterministic (reveals equality, enabling SSI-side grouping at a
+// controlled leakage cost). All constructions use only the standard
+// library.
+//
+// The asymmetric keys here are sized for protocol experiments, not for
+// production deployment; the protocols only rely on the algebraic
+// properties, which hold at any size.
+package privcrypto
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Errors returned by Paillier operations.
+var (
+	ErrMessageRange = errors.New("privcrypto: message outside [0, N)")
+	ErrBadCipher    = errors.New("privcrypto: ciphertext outside [0, N^2)")
+)
+
+var one = big.NewInt(1)
+
+// PaillierPublicKey encrypts and combines ciphertexts.
+type PaillierPublicKey struct {
+	N  *big.Int // modulus p*q
+	N2 *big.Int // N^2
+}
+
+// PaillierPrivateKey decrypts.
+type PaillierPrivateKey struct {
+	PaillierPublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // lambda^{-1} mod N
+}
+
+// GeneratePaillier creates a key pair with an n-bit modulus. bits must be
+// at least 128 (use 1024+ for anything beyond simulation).
+func GeneratePaillier(bits int, random io.Reader) (*PaillierPrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("privcrypto: modulus too small (%d bits)", bits)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(random, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+		mu := new(big.Int).ModInverse(lambda, n)
+		if mu == nil {
+			continue
+		}
+		n2 := new(big.Int).Mul(n, n)
+		return &PaillierPrivateKey{
+			PaillierPublicKey: PaillierPublicKey{N: n, N2: n2},
+			lambda:            lambda,
+			mu:                mu,
+		}, nil
+	}
+}
+
+// Public returns the public half of the key.
+func (sk *PaillierPrivateKey) Public() *PaillierPublicKey { return &sk.PaillierPublicKey }
+
+// Encrypt encrypts m in [0, N) with fresh randomness (the generator is the
+// standard g = N+1, so Enc(m) = (1+mN)·r^N mod N²).
+func (pk *PaillierPublicKey) Encrypt(m *big.Int, random io.Reader) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(random, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// (1 + m·N) mod N²
+	c := new(big.Int).Mul(m, pk.N)
+	c.Add(c, one)
+	c.Mod(c, pk.N2)
+	// · r^N mod N²
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c.Mul(c, rn)
+	c.Mod(c, pk.N2)
+	return c, nil
+}
+
+// EncryptInt64 encrypts a non-negative int64.
+func (pk *PaillierPublicKey) EncryptInt64(m int64, random io.Reader) (*big.Int, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrMessageRange, m)
+	}
+	return pk.Encrypt(big.NewInt(m), random)
+}
+
+// Decrypt recovers the plaintext: L(c^λ mod N²)·μ mod N with L(x)=(x-1)/N.
+func (sk *PaillierPrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadCipher, c)
+	}
+	x := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	x.Sub(x, one)
+	x.Div(x, sk.N)
+	x.Mul(x, sk.mu)
+	x.Mod(x, sk.N)
+	return x, nil
+}
+
+// AddCipher homomorphically adds two ciphertexts: Dec(c1·c2) = m1+m2 mod N.
+func (pk *PaillierPublicKey) AddCipher(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// MulPlain homomorphically multiplies a ciphertext by a plaintext scalar:
+// Dec(c^k) = k·m mod N.
+func (pk *PaillierPublicKey) MulPlain(c *big.Int, k *big.Int) *big.Int {
+	return new(big.Int).Exp(c, k, pk.N2)
+}
+
+// EncryptZero returns a fresh encryption of zero (used for re-randomizing
+// aggregates before they leave a token).
+func (pk *PaillierPublicKey) EncryptZero(random io.Reader) (*big.Int, error) {
+	return pk.Encrypt(big.NewInt(0), random)
+}

@@ -1,0 +1,164 @@
+package privcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Symmetric encryption errors.
+var (
+	ErrBadKeySize     = errors.New("privcrypto: key must be 32 bytes")
+	ErrCiphertext     = errors.New("privcrypto: malformed ciphertext")
+	ErrAuthentication = errors.New("privcrypto: authentication failed")
+)
+
+// KeySize is the byte length of symmetric keys.
+const KeySize = 32
+
+// NewKey generates a fresh random 32-byte key.
+func NewKey() ([]byte, error) {
+	k := make([]byte, KeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// NonDetCipher is randomized AES-CTR encryption with an HMAC tag
+// (encrypt-then-MAC): two encryptions of the same plaintext are unequal
+// with overwhelming probability. This is the mode of the [TNP14]
+// secure-aggregation protocol — the SSI learns nothing, so aggregation
+// must come back inside a token.
+type NonDetCipher struct {
+	block  cipher.Block
+	macKey []byte
+}
+
+// NewNonDetCipher builds a cipher from a 32-byte key (split into an
+// encryption key and a MAC key derivation).
+func NewNonDetCipher(key []byte) (*NonDetCipher, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	encKey := deriveKey(key, "enc")
+	block, err := aes.NewCipher(encKey[:16])
+	if err != nil {
+		return nil, err
+	}
+	mk := deriveKey(key, "mac")
+	return &NonDetCipher{block: block, macKey: mk[:]}, nil
+}
+
+// Encrypt returns iv(16) || ct || tag(32).
+func (c *NonDetCipher) Encrypt(pt []byte) ([]byte, error) {
+	out := make([]byte, 16+len(pt)+32)
+	iv := out[:16]
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, err
+	}
+	cipher.NewCTR(c.block, iv).XORKeyStream(out[16:16+len(pt)], pt)
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(out[:16+len(pt)])
+	copy(out[16+len(pt):], mac.Sum(nil))
+	return out, nil
+}
+
+// Decrypt verifies the tag and recovers the plaintext.
+func (c *NonDetCipher) Decrypt(ct []byte) ([]byte, error) {
+	if len(ct) < 16+32 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCiphertext, len(ct))
+	}
+	body, tag := ct[:len(ct)-32], ct[len(ct)-32:]
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, ErrAuthentication
+	}
+	pt := make([]byte, len(body)-16)
+	cipher.NewCTR(c.block, body[:16]).XORKeyStream(pt, body[16:])
+	return pt, nil
+}
+
+// DetCipher is deterministic (SIV-style) encryption: the IV is a PRF of
+// the plaintext, so equal plaintexts yield equal ciphertexts. This is the
+// controlled-leakage mode of the [TNP14] noise-based and histogram-based
+// protocols: the SSI can group equal values without learning them, and
+// fake tuples are injected to hide the true frequency distribution.
+type DetCipher struct {
+	block  cipher.Block
+	prfKey []byte
+	macKey []byte
+}
+
+// NewDetCipher builds a deterministic cipher from a 32-byte key.
+func NewDetCipher(key []byte) (*DetCipher, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	encKey := deriveKey(key, "det-enc")
+	block, err := aes.NewCipher(encKey[:16])
+	if err != nil {
+		return nil, err
+	}
+	prf := deriveKey(key, "det-prf")
+	mk := deriveKey(key, "det-mac")
+	return &DetCipher{block: block, prfKey: prf[:], macKey: mk[:]}, nil
+}
+
+// Encrypt returns iv(16) || ct || tag(32) with iv = PRF(plaintext).
+func (c *DetCipher) Encrypt(pt []byte) ([]byte, error) {
+	prf := hmac.New(sha256.New, c.prfKey)
+	prf.Write(pt)
+	iv := prf.Sum(nil)[:16]
+	out := make([]byte, 16+len(pt)+32)
+	copy(out[:16], iv)
+	cipher.NewCTR(c.block, iv).XORKeyStream(out[16:16+len(pt)], pt)
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(out[:16+len(pt)])
+	copy(out[16+len(pt):], mac.Sum(nil))
+	return out, nil
+}
+
+// Decrypt verifies and recovers the plaintext.
+func (c *DetCipher) Decrypt(ct []byte) ([]byte, error) {
+	if len(ct) < 16+32 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCiphertext, len(ct))
+	}
+	body, tag := ct[:len(ct)-32], ct[len(ct)-32:]
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, ErrAuthentication
+	}
+	pt := make([]byte, len(body)-16)
+	cipher.NewCTR(c.block, body[:16]).XORKeyStream(pt, body[16:])
+	return pt, nil
+}
+
+// deriveKey derives a subkey for a labeled purpose from a master key.
+func deriveKey(master []byte, label string) [32]byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte(label))
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// MAC computes an HMAC-SHA256 tag (used by tokens to authenticate protocol
+// messages and detect a weakly-malicious SSI).
+func MAC(key, msg []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// VerifyMAC checks a tag in constant time.
+func VerifyMAC(key, msg, tag []byte) bool {
+	return hmac.Equal(MAC(key, msg), tag)
+}

@@ -1,0 +1,251 @@
+package search
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pds/internal/logstore"
+)
+
+// This file implements step 3 of the tutorial's framework for the search
+// engine: timely reorganization of the sequential bucket chains into a
+// more efficient structure, itself built only from sequential writes.
+//
+// Reorganization externally sorts every posting by (term ascending, docid
+// DESCENDING) — stable, log-only — and rewrites them as densely packed
+// "compact" pages. A small in-RAM directory (last term of each page) routes
+// a query keyword to exactly the pages holding its postings, instead of a
+// whole hash-bucket chain shared with other terms. Documents indexed after
+// a reorganization go to fresh bucket chains; since docids only grow, a
+// cursor serves chain postings first and compact postings second, and the
+// merged stream stays strictly docid-descending.
+
+// compact page layout: u16 count | count × triple (same triple encoding as
+// bucket pages, without the chain pointer).
+const compactPageHeader = 2
+
+// compactIndex is the reorganized posting store.
+type compactIndex struct {
+	pw *logstore.PageWriter
+	// dir[i] is the last (greatest) term on logical page i.
+	dir []string
+}
+
+// Reorganize merges every bucket chain (and any previous compact index)
+// into a fresh compact index, then resets the chains and frees the old
+// blocks. runPages and fanIn bound the external sort's RAM, as in the
+// tutorial's reorganization step.
+func (e *Engine) Reorganize(runPages, fanIn int) error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	alloc := e.pw.Alloc()
+
+	// Gather all postings into a temporary log (sequential writes only).
+	tmp := logstore.NewLog(alloc)
+	emit := func(tr triple) error {
+		_, err := tmp.Append(encodeTripleRec(tr))
+		return err
+	}
+	for b := 0; b < e.nbuckets; b++ {
+		next := e.heads[b]
+		for next >= 0 {
+			img, err := e.pw.Chip().Page(int(next))
+			if err != nil {
+				return err
+			}
+			prev, triples, err := decodeBucketPage(img)
+			if err != nil {
+				return err
+			}
+			for _, tr := range triples {
+				if err := emit(tr); err != nil {
+					return err
+				}
+			}
+			next = prev
+		}
+	}
+	if e.compact != nil {
+		for p := 0; p < e.compact.pw.Pages(); p++ {
+			triples, err := e.compact.readPage(p)
+			if err != nil {
+				return err
+			}
+			for _, tr := range triples {
+				if err := emit(tr); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Sort by (term asc, docid desc).
+	less := func(a, b []byte) bool {
+		ta, errA := decodeTripleRec(a)
+		tb, errB := decodeTripleRec(b)
+		if errA != nil || errB != nil {
+			return false
+		}
+		if ta.term != tb.term {
+			return ta.term < tb.term
+		}
+		return ta.doc > tb.doc
+	}
+	sorted, err := logstore.Sort(tmp, less, runPages, fanIn)
+	if err != nil {
+		return err
+	}
+	if err := tmp.Drop(); err != nil {
+		return err
+	}
+	defer sorted.Drop()
+
+	// Pack into compact pages, recording the directory.
+	ci := &compactIndex{pw: logstore.NewPageWriter(alloc)}
+	page := make([]byte, compactPageHeader, e.pageSize)
+	cnt := 0
+	lastTerm := ""
+	flushPage := func() error {
+		if cnt == 0 {
+			return nil
+		}
+		binary.LittleEndian.PutUint16(page[0:2], uint16(cnt))
+		if _, err := ci.pw.Write(page); err != nil {
+			return err
+		}
+		ci.dir = append(ci.dir, lastTerm)
+		page = make([]byte, compactPageHeader, e.pageSize)
+		cnt = 0
+		return nil
+	}
+	it := sorted.Iter()
+	for {
+		rec, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		tr, err := decodeTripleRec(rec)
+		if err != nil {
+			return err
+		}
+		if len(page)+tripleSize(tr.term) > e.pageSize {
+			if err := flushPage(); err != nil {
+				return err
+			}
+		}
+		page = appendTriple(page, tr)
+		cnt++
+		lastTerm = tr.term
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if err := flushPage(); err != nil {
+		return err
+	}
+
+	// Swap in: free old chains and old compact index, reset buckets.
+	old := e.pw
+	e.pw = logstore.NewPageWriter(alloc)
+	if err := old.Drop(); err != nil {
+		return err
+	}
+	if e.compact != nil {
+		if err := e.compact.pw.Drop(); err != nil {
+			return err
+		}
+	}
+	e.compact = ci
+	for b := range e.heads {
+		e.heads[b] = -1
+	}
+	return nil
+}
+
+// CompactPages returns the size of the reorganized structure (0 if the
+// engine was never reorganized).
+func (e *Engine) CompactPages() int {
+	if e.compact == nil {
+		return 0
+	}
+	return e.compact.pw.Pages()
+}
+
+// readPage decodes one compact page into triples (page order = docid
+// descending within each term).
+func (c *compactIndex) readPage(logical int) ([]triple, error) {
+	phys, err := c.pw.PhysPage(logical)
+	if err != nil {
+		return nil, err
+	}
+	img, err := c.pw.Chip().Page(phys)
+	if err != nil {
+		return nil, err
+	}
+	if len(img) < compactPageHeader {
+		return nil, fmt.Errorf("search: short compact page")
+	}
+	cnt := int(binary.LittleEndian.Uint16(img[0:2]))
+	out := make([]triple, 0, cnt)
+	off := compactPageHeader
+	for i := 0; i < cnt; i++ {
+		if off >= len(img) {
+			return nil, fmt.Errorf("search: corrupt compact page")
+		}
+		tl := int(img[off])
+		off++
+		if off+tl+6 > len(img) {
+			return nil, fmt.Errorf("search: corrupt compact page")
+		}
+		term := string(img[off : off+tl])
+		off += tl
+		doc := DocID(binary.LittleEndian.Uint32(img[off : off+4]))
+		w := binary.LittleEndian.Uint16(img[off+4 : off+6])
+		off += 6
+		out = append(out, triple{term: term, doc: doc, weight: w})
+	}
+	return out, nil
+}
+
+// firstPageFor returns the first logical compact page that may contain
+// term, or -1.
+func (c *compactIndex) firstPageFor(term string) int {
+	i := sort.SearchStrings(c.dir, term)
+	if i == len(c.dir) {
+		return -1
+	}
+	return i
+}
+
+// triple record encoding for the temporary sort log: u8 len | term |
+// u32 doc | u16 weight.
+func encodeTripleRec(tr triple) []byte {
+	out := make([]byte, 0, tripleSize(tr.term))
+	return appendTriple(out, tr)
+}
+
+func appendTriple(dst []byte, tr triple) []byte {
+	dst = append(dst, byte(len(tr.term)))
+	dst = append(dst, tr.term...)
+	var num [6]byte
+	binary.LittleEndian.PutUint32(num[0:4], uint32(tr.doc))
+	binary.LittleEndian.PutUint16(num[4:6], tr.weight)
+	return append(dst, num[:]...)
+}
+
+func decodeTripleRec(rec []byte) (triple, error) {
+	if len(rec) < 1 {
+		return triple{}, fmt.Errorf("search: empty triple record")
+	}
+	tl := int(rec[0])
+	if len(rec) != 1+tl+6 {
+		return triple{}, fmt.Errorf("search: corrupt triple record")
+	}
+	return triple{
+		term:   string(rec[1 : 1+tl]),
+		doc:    DocID(binary.LittleEndian.Uint32(rec[1+tl : 5+tl])),
+		weight: binary.LittleEndian.Uint16(rec[5+tl : 7+tl]),
+	}, nil
+}

@@ -1,0 +1,200 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pds/internal/flash"
+	"pds/internal/mcu"
+)
+
+// loadRandomCorpus fills an engine with a reproducible random corpus and
+// returns the documents.
+func loadRandomCorpus(t *testing.T, e *Engine, n, vocab int, seed int64) []map[string]int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]map[string]int, n)
+	for i := range docs {
+		d := map[string]int{}
+		for j := 0; j < 1+rng.Intn(5); j++ {
+			d[fmt.Sprintf("w%03d", rng.Intn(vocab))] = 1 + rng.Intn(4)
+		}
+		docs[i] = d
+		if _, err := e.AddDocument(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return docs
+}
+
+func TestReorganizePreservesResults(t *testing.T) {
+	e := newTestEngine(t, 4)
+	loadRandomCorpus(t, e, 600, 30, 1)
+	queries := [][]string{{"w000"}, {"w001", "w002"}, {"w010", "w011", "w012"}}
+	var before [][]Result
+	for _, q := range queries {
+		r, err := e.Search(q, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = append(before, r)
+	}
+	if err := e.Reorganize(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if e.CompactPages() == 0 {
+		t.Fatal("no compact pages after reorganize")
+	}
+	if e.Pages() != 0 {
+		t.Errorf("chains not reset: %d pages", e.Pages())
+	}
+	for qi, q := range queries {
+		after, err := e.Search(q, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after) != len(before[qi]) {
+			t.Fatalf("query %v: %d results after reorganize, %d before", q, len(after), len(before[qi]))
+		}
+		for i := range after {
+			if after[i].Doc != before[qi][i].Doc || math.Abs(after[i].Score-before[qi][i].Score) > 1e-9 {
+				t.Errorf("query %v rank %d: %v vs %v", q, i, after[i], before[qi][i])
+			}
+		}
+	}
+}
+
+func TestReorganizeThenInsertMore(t *testing.T) {
+	e := newTestEngine(t, 4)
+	loadRandomCorpus(t, e, 300, 20, 2)
+	if err := e.Reorganize(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// New documents land in fresh chains; queries must merge both worlds
+	// in correct (descending docid) order.
+	d1, _ := e.AddDocument(map[string]int{"w000": 9})
+	d2, _ := e.AddDocument(map[string]int{"w000": 9})
+	res, err := e.Search([]string{"w000"}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[DocID]bool{}
+	for _, r := range res {
+		found[r.Doc] = true
+	}
+	if !found[d1] || !found[d2] {
+		t.Errorf("post-reorganize documents missing: %v %v in %d results", d1, d2, len(res))
+	}
+	// Results must match the naive evaluation exactly.
+	naive, err := e.NaiveSearch([]string{"w000"}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(naive) {
+		t.Fatalf("pipelined %d vs naive %d", len(res), len(naive))
+	}
+	for i := range res {
+		if res[i].Doc != naive[i].Doc || math.Abs(res[i].Score-naive[i].Score) > 1e-9 {
+			t.Errorf("rank %d: %v vs %v", i, res[i], naive[i])
+		}
+	}
+}
+
+func TestReorganizeTwice(t *testing.T) {
+	e := newTestEngine(t, 4)
+	loadRandomCorpus(t, e, 200, 15, 3)
+	if err := e.Reorganize(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	loadRandomCorpus(t, e, 200, 15, 4)
+	if err := e.Reorganize(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Search([]string{"w000"}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := e.NaiveSearch([]string{"w000"}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(naive) {
+		t.Errorf("after double reorganize: %d vs naive %d", len(res), len(naive))
+	}
+}
+
+func TestReorganizeReducesQueryIO(t *testing.T) {
+	chip := flash.NewChip(flash.Geometry{PageSize: 256, PagesPerBlock: 8, Blocks: 8192})
+	e, err := NewEngine(flash.NewAllocator(chip), mcu.NewArena(0), 2) // few buckets: long shared chains
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		e.AddDocument(map[string]int{fmt.Sprintf("w%03d", rng.Intn(200)): 1})
+	}
+	e.Flush()
+
+	chip.ResetStats()
+	if _, err := e.Search([]string{"w000"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	chainIO := chip.Stats().PageReads
+
+	if err := e.Reorganize(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	chip.ResetStats()
+	if _, err := e.Search([]string{"w000"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	compactIO := chip.Stats().PageReads
+	if compactIO*5 > chainIO {
+		t.Errorf("compact query %d IOs vs chain %d; want >=5x saving", compactIO, chainIO)
+	}
+}
+
+func TestReorganizeFreesOldBlocks(t *testing.T) {
+	chip := flash.NewChip(flash.Geometry{PageSize: 256, PagesPerBlock: 8, Blocks: 8192})
+	alloc := flash.NewAllocator(chip)
+	e, err := NewEngine(alloc, mcu.NewArena(0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 2000; i++ {
+		e.AddDocument(map[string]int{fmt.Sprintf("w%02d", i%50): 1})
+	}
+	e.Flush()
+	before := alloc.InUse()
+	if err := e.Reorganize(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Compact representation must be no larger than the chains were
+	// (usually smaller), and temp sort blocks must be gone.
+	if alloc.InUse() > before {
+		t.Errorf("blocks grew across reorganize: %d -> %d", before, alloc.InUse())
+	}
+}
+
+func TestReorganizeEmptyEngine(t *testing.T) {
+	e := newTestEngine(t, 2)
+	if err := e.Reorganize(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Search([]string{"anything"}, 5)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty reorganized search = %v, %v", res, err)
+	}
+	// Indexing still works afterwards.
+	if _, err := e.AddDocument(map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Search([]string{"x"}, 5)
+	if err != nil || len(res) != 1 {
+		t.Errorf("post-empty-reorganize search = %v, %v", res, err)
+	}
+}

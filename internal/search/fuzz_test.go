@@ -1,0 +1,25 @@
+package search
+
+import "testing"
+
+func FuzzDecodeBucketPage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255, 1, 0, 1, 'a', 1, 0, 0, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, img []byte) {
+		decodeBucketPage(img)
+	})
+}
+
+func FuzzDecodeTripleRec(f *testing.F) {
+	f.Add(encodeTripleRec(triple{term: "t", doc: 1, weight: 2}))
+	f.Add([]byte{5})
+	f.Fuzz(func(t *testing.T, rec []byte) {
+		tr, err := decodeTripleRec(rec)
+		if err == nil {
+			got, err2 := decodeTripleRec(encodeTripleRec(tr))
+			if err2 != nil || got != tr {
+				t.Fatalf("round trip: %+v vs %+v", got, tr)
+			}
+		}
+	})
+}

@@ -1,0 +1,581 @@
+// Package search implements the tutorial's embedded search engine (Part II,
+// first illustration): an inverted index stored as chained hash-bucket pages
+// in NAND flash, queried in pipeline with one page of RAM per query keyword.
+//
+// Index layout. Terms hash into a fixed number of buckets. Insertions
+// append (term, docid, weight) triples to a per-bucket RAM page buffer;
+// when a buffer fills it is flushed as one flash page carrying a pointer to
+// the previous page of the same bucket. Because document ids are assigned
+// in increasing order and chains are walked newest-page-first, each chain
+// yields its triples in descending docid order — the property that makes
+// the multi-keyword merge pipelined.
+//
+// Query evaluation. For a set of keywords, the engine opens one cursor per
+// keyword (one page of RAM each), merges the streams on descending docid,
+// folds TF-IDF contributions as the triples of one document meet in RAM at
+// the same time, and maintains the top-N results in a bounded heap. RAM is
+// accounted against the device arena, so a query that would not fit the
+// MCU fails instead of silently spilling.
+package search
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"pds/internal/flash"
+	"pds/internal/logstore"
+	"pds/internal/mcu"
+)
+
+// DocID identifies a document; ids are assigned in strictly increasing
+// insertion order (the invariant pipelined merging relies on).
+type DocID uint32
+
+// Errors returned by the engine.
+var (
+	ErrTermTooLong = errors.New("search: term longer than 255 bytes")
+	ErrNoKeywords  = errors.New("search: empty keyword list")
+	ErrBadTopN     = errors.New("search: topN must be >= 1")
+)
+
+// triple is one posting: a term occurrence in a document with its weight
+// (term frequency).
+type triple struct {
+	term   string
+	doc    DocID
+	weight uint16
+}
+
+// Bucket page format:
+//
+//	i32 prev (physical page number of previous chain page; -1 = none)
+//	u16 count
+//	count × { u8 termLen | term | u32 docid | u16 weight }
+const bucketPageHeader = 6
+
+func tripleSize(term string) int { return 1 + len(term) + 4 + 2 }
+
+// Engine is an embedded search engine bound to one token's flash and RAM.
+type Engine struct {
+	pw       *logstore.PageWriter
+	arena    *mcu.Arena
+	bufRes   *mcu.Reservation
+	nbuckets int
+	heads    []int32
+	bufs     [][]triple
+	bufBytes []int
+	ndocs    int
+	df       map[string]int // vocabulary directory: term -> document frequency
+	nextDoc  DocID
+	pageSize int
+	// compact holds the reorganized postings, if Reorganize has run.
+	compact *compactIndex
+}
+
+// NewEngine creates an engine with nbuckets hash buckets. It reserves one
+// page of RAM per bucket for insertion buffers from the device arena, so an
+// engine that would not fit the MCU fails to construct.
+func NewEngine(alloc *flash.Allocator, arena *mcu.Arena, nbuckets int) (*Engine, error) {
+	if nbuckets < 1 {
+		return nil, fmt.Errorf("search: nbuckets must be >= 1, got %d", nbuckets)
+	}
+	pageSize := alloc.Chip().Geometry().PageSize
+	res, err := arena.Reserve(nbuckets * pageSize)
+	if err != nil {
+		return nil, fmt.Errorf("search: insertion buffers: %w", err)
+	}
+	heads := make([]int32, nbuckets)
+	for i := range heads {
+		heads[i] = -1
+	}
+	return &Engine{
+		pw:       logstore.NewPageWriter(alloc),
+		arena:    arena,
+		bufRes:   res,
+		nbuckets: nbuckets,
+		heads:    heads,
+		bufs:     make([][]triple, nbuckets),
+		bufBytes: make([]int, nbuckets),
+		df:       make(map[string]int),
+		pageSize: pageSize,
+	}, nil
+}
+
+// Close releases the engine's RAM reservation and frees its flash blocks.
+func (e *Engine) Close() error {
+	e.bufRes.Release()
+	if e.compact != nil {
+		if err := e.compact.pw.Drop(); err != nil {
+			return err
+		}
+		e.compact = nil
+	}
+	return e.pw.Drop()
+}
+
+// NumDocs returns the number of indexed documents.
+func (e *Engine) NumDocs() int { return e.ndocs }
+
+// DocFreq returns the number of documents containing term.
+func (e *Engine) DocFreq(term string) int { return e.df[term] }
+
+// Pages returns the number of flash pages the index occupies.
+func (e *Engine) Pages() int { return e.pw.Pages() }
+
+// Buckets returns the configured number of hash buckets.
+func (e *Engine) Buckets() int { return e.nbuckets }
+
+func (e *Engine) bucketOf(term string) int {
+	h := fnv.New32a()
+	h.Write([]byte(term))
+	return int(h.Sum32() % uint32(e.nbuckets))
+}
+
+// AddDocument indexes a document given as a term → term-frequency map and
+// returns the assigned DocID. Frequencies above 65535 are clamped.
+func (e *Engine) AddDocument(terms map[string]int) (DocID, error) {
+	doc := e.nextDoc
+	// Deterministic order for reproducible flash layouts.
+	sorted := make([]string, 0, len(terms))
+	for t := range terms {
+		if len(t) > 255 {
+			return 0, fmt.Errorf("%w: %q", ErrTermTooLong, t[:16]+"...")
+		}
+		if terms[t] <= 0 {
+			continue
+		}
+		sorted = append(sorted, t)
+	}
+	sort.Strings(sorted)
+	for _, t := range sorted {
+		w := terms[t]
+		if w > math.MaxUint16 {
+			w = math.MaxUint16
+		}
+		if err := e.addTriple(triple{term: t, doc: doc, weight: uint16(w)}); err != nil {
+			return 0, err
+		}
+		e.df[t]++
+	}
+	e.nextDoc++
+	e.ndocs++
+	return doc, nil
+}
+
+func (e *Engine) addTriple(tr triple) error {
+	b := e.bucketOf(tr.term)
+	if bucketPageHeader+e.bufBytes[b]+tripleSize(tr.term) > e.pageSize {
+		if err := e.flushBucket(b); err != nil {
+			return err
+		}
+	}
+	e.bufs[b] = append(e.bufs[b], tr)
+	e.bufBytes[b] += tripleSize(tr.term)
+	return nil
+}
+
+func (e *Engine) flushBucket(b int) error {
+	if len(e.bufs[b]) == 0 {
+		return nil
+	}
+	page := make([]byte, bucketPageHeader, bucketPageHeader+e.bufBytes[b])
+	binary.LittleEndian.PutUint32(page[0:4], uint32(e.heads[b]))
+	binary.LittleEndian.PutUint16(page[4:6], uint16(len(e.bufs[b])))
+	for _, tr := range e.bufs[b] {
+		page = append(page, byte(len(tr.term)))
+		page = append(page, tr.term...)
+		var num [6]byte
+		binary.LittleEndian.PutUint32(num[0:4], uint32(tr.doc))
+		binary.LittleEndian.PutUint16(num[4:6], tr.weight)
+		page = append(page, num[:]...)
+	}
+	phys, err := e.pw.Write(page)
+	if err != nil {
+		return err
+	}
+	e.heads[b] = int32(phys)
+	e.bufs[b] = e.bufs[b][:0]
+	e.bufBytes[b] = 0
+	return nil
+}
+
+// Flush persists every insertion buffer to flash.
+func (e *Engine) Flush() error {
+	for b := 0; b < e.nbuckets; b++ {
+		if err := e.flushBucket(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeBucketPage parses a bucket page into (prev, triples in page order).
+func decodeBucketPage(img []byte) (int32, []triple, error) {
+	if len(img) < bucketPageHeader {
+		return -1, nil, fmt.Errorf("search: short bucket page (%d bytes)", len(img))
+	}
+	prev := int32(binary.LittleEndian.Uint32(img[0:4]))
+	cnt := int(binary.LittleEndian.Uint16(img[4:6]))
+	out := make([]triple, 0, cnt)
+	off := bucketPageHeader
+	for i := 0; i < cnt; i++ {
+		if off >= len(img) {
+			return -1, nil, errors.New("search: corrupt bucket page")
+		}
+		tl := int(img[off])
+		off++
+		if off+tl+6 > len(img) {
+			return -1, nil, errors.New("search: corrupt bucket page")
+		}
+		term := string(img[off : off+tl])
+		off += tl
+		doc := DocID(binary.LittleEndian.Uint32(img[off : off+4]))
+		w := binary.LittleEndian.Uint16(img[off+4 : off+6])
+		off += 6
+		out = append(out, triple{term: term, doc: doc, weight: w})
+	}
+	return prev, out, nil
+}
+
+// cursor phases: postings come from (0) the RAM buffer + bucket chain —
+// the newest documents — then (1) the compact reorganized index, then the
+// stream is (2) exhausted. Docids stay strictly descending across phases
+// because reorganization only covers documents older than any chain entry.
+const (
+	phaseChain = iota
+	phaseCompact
+	phaseDone
+)
+
+// cursor streams the postings of one term in descending docid order using
+// one page of RAM.
+type cursor struct {
+	eng   *Engine
+	term  string
+	idf   float64
+	cur   []triple // descending docid
+	pos   int
+	next  int32 // chain pointer still to follow; -1 = exhausted
+	phase int
+	cpage int  // next compact page to read
+	clast bool // the page just served was the term's last compact page
+}
+
+// openCursor positions a cursor on term. Unflushed buffered triples are
+// served first (they are the newest).
+func (e *Engine) openCursor(term string) *cursor {
+	b := e.bucketOf(term)
+	c := &cursor{eng: e, term: term, next: e.heads[b]}
+	if n := e.df[term]; n > 0 {
+		c.idf = math.Log(float64(e.ndocs) / float64(n))
+	}
+	// Buffered triples, filtered and reversed to descending docid.
+	buf := e.bufs[b]
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].term == term {
+			c.cur = append(c.cur, buf[i])
+		}
+	}
+	return c
+}
+
+// head returns the current posting without advancing.
+func (c *cursor) head() (triple, bool) {
+	if c.pos < len(c.cur) {
+		return c.cur[c.pos], true
+	}
+	return triple{}, false
+}
+
+// advance moves past the current posting, loading further chain or compact
+// pages as needed. It returns false when the stream is exhausted.
+func (c *cursor) advance() (bool, error) {
+	c.pos++
+	for c.pos >= len(c.cur) {
+		switch c.phase {
+		case phaseChain:
+			if c.next >= 0 {
+				img, err := c.eng.pw.Chip().Page(int(c.next))
+				if err != nil {
+					return false, err
+				}
+				prev, triples, err := decodeBucketPage(img)
+				if err != nil {
+					return false, err
+				}
+				c.cur = c.cur[:0]
+				for i := len(triples) - 1; i >= 0; i-- { // page stores ascending docid
+					if triples[i].term == c.term {
+						c.cur = append(c.cur, triples[i])
+					}
+				}
+				c.pos = 0
+				c.next = prev
+				continue
+			}
+			ci := c.eng.compact
+			if ci == nil {
+				c.phase = phaseDone
+				return false, nil
+			}
+			p := ci.firstPageFor(c.term)
+			if p < 0 {
+				c.phase = phaseDone
+				return false, nil
+			}
+			c.cpage = p
+			c.phase = phaseCompact
+		case phaseCompact:
+			ci := c.eng.compact
+			if c.clast || c.cpage >= ci.pw.Pages() {
+				c.phase = phaseDone
+				return false, nil
+			}
+			triples, err := ci.readPage(c.cpage)
+			if err != nil {
+				return false, err
+			}
+			c.cur = c.cur[:0]
+			for _, tr := range triples { // compact pages already store docid descending per term
+				if tr.term == c.term {
+					c.cur = append(c.cur, tr)
+				}
+			}
+			c.pos = 0
+			if ci.dir[c.cpage] > c.term {
+				c.clast = true
+			}
+			c.cpage++
+		default:
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// prime ensures the cursor has a head if any posting exists.
+func (c *cursor) prime() (bool, error) {
+	if c.pos < len(c.cur) {
+		return true, nil
+	}
+	c.pos-- // counteract advance's increment
+	return c.advance()
+}
+
+// Result is a scored document.
+type Result struct {
+	Doc   DocID
+	Score float64
+}
+
+// topNHeap is a min-heap of results bounded to capacity N.
+type topNHeap []Result
+
+func (h topNHeap) Len() int { return len(h) }
+func (h topNHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc < h[j].Doc
+}
+func (h topNHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *topNHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *topNHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// resultEntryBytes is the RAM accounted per top-N heap entry.
+const resultEntryBytes = 16
+
+// Search returns the topN documents ranked by TF-IDF for the keywords
+// (OR semantics: a document scores on the keywords it contains). It runs in
+// pipeline: one RAM page per distinct keyword plus the bounded result heap,
+// all reserved from the arena.
+func (e *Engine) Search(keywords []string, topN int) ([]Result, error) {
+	return e.search(keywords, topN, false)
+}
+
+// SearchAll is Search with AND semantics: only documents containing every
+// keyword are returned. The pipeline is identical — the merge simply skips
+// documents not matched by all cursors.
+func (e *Engine) SearchAll(keywords []string, topN int) ([]Result, error) {
+	return e.search(keywords, topN, true)
+}
+
+func (e *Engine) search(keywords []string, topN int, requireAll bool) ([]Result, error) {
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	if topN < 1 {
+		return nil, ErrBadTopN
+	}
+	// Deduplicate keywords.
+	uniq := make([]string, 0, len(keywords))
+	seen := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, k)
+		}
+	}
+	res, err := e.arena.Reserve(len(uniq)*e.pageSize + topN*resultEntryBytes)
+	if err != nil {
+		return nil, fmt.Errorf("search: query memory: %w", err)
+	}
+	defer res.Release()
+
+	cursors := make([]*cursor, 0, len(uniq))
+	for _, k := range uniq {
+		c := e.openCursor(k)
+		ok, err := c.prime()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cursors = append(cursors, c)
+		}
+	}
+	required := len(uniq)
+	if requireAll && len(cursors) < required {
+		// Some keyword has no postings at all: the conjunction is empty.
+		return nil, nil
+	}
+
+	h := make(topNHeap, 0, topN)
+	for len(cursors) > 0 {
+		if requireAll && len(cursors) < required {
+			break // a keyword stream dried up: no further doc can match all
+		}
+		// Current document = max head docid across cursors.
+		var cur DocID
+		for i, c := range cursors {
+			t, _ := c.head()
+			if i == 0 || t.doc > cur {
+				cur = t.doc
+			}
+		}
+		// Fold every cursor positioned on cur; drop exhausted cursors.
+		score := 0.0
+		matched := 0
+		alive := cursors[:0]
+		for _, c := range cursors {
+			ok := true
+			contributed := false
+			for {
+				t, has := c.head()
+				if !has || t.doc != cur {
+					break
+				}
+				score += float64(t.weight) * c.idf
+				contributed = true
+				ok, err = c.advance()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+			}
+			if contributed {
+				matched++
+			}
+			if _, has := c.head(); has {
+				alive = append(alive, c)
+			}
+		}
+		cursors = alive
+		if requireAll && matched < required {
+			continue
+		}
+		r := Result{Doc: cur, Score: score}
+		if len(h) < topN {
+			heap.Push(&h, r)
+		} else if betterThanMin(h[0], r) {
+			h[0] = r
+			heap.Fix(&h, 0)
+		}
+	}
+	// Extract in descending score order.
+	out := make([]Result, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Result)
+	}
+	return out, nil
+}
+
+// betterThanMin reports whether candidate r outranks the heap minimum m.
+func betterThanMin(m, r Result) bool {
+	if r.Score != m.Score {
+		return r.Score > m.Score
+	}
+	return r.Doc > m.Doc
+}
+
+// NaiveSearch is the strawman the tutorial warns about: it allocates one
+// RAM container per retrieved document, which does not fit a secure MCU on
+// large corpora. RAM is accounted per distinct document, so on a small
+// arena it fails with mcu.ErrOutOfRAM where Search succeeds.
+func (e *Engine) NaiveSearch(keywords []string, topN int) ([]Result, error) {
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	if topN < 1 {
+		return nil, ErrBadTopN
+	}
+	res, err := e.arena.Reserve(len(keywords) * e.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Release()
+
+	scores := make(map[DocID]float64)
+	seen := map[string]bool{}
+	const containerBytes = 32 // docid + score + map overhead
+	for _, k := range keywords {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		c := e.openCursor(k)
+		ok, err := c.prime()
+		if err != nil {
+			return nil, err
+		}
+		for ok {
+			t, _ := c.head()
+			if _, exists := scores[t.doc]; !exists {
+				if err := res.Grow(containerBytes); err != nil {
+					return nil, fmt.Errorf("search: naive evaluation: %w", err)
+				}
+			}
+			scores[t.doc] += float64(t.weight) * c.idf
+			ok, err = c.advance()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	all := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		all = append(all, Result{Doc: d, Score: s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Doc > all[j].Doc
+	})
+	if len(all) > topN {
+		all = all[:topN]
+	}
+	return all, nil
+}

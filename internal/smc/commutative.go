@@ -1,0 +1,92 @@
+package smc
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// The [CKV+02] set protocols rest on commutative encryption:
+// E_a(E_b(x)) = E_b(E_a(x)). We use Pohlig–Hellman exponentiation in the
+// multiplicative group of a safe prime p: E_k(x) = x^k mod p, with k
+// invertible modulo p-1. Commutativity is immediate: (x^a)^b = (x^b)^a.
+
+// oakleyGroup2Hex is the 1024-bit safe prime of the Oakley Group 2 /
+// RFC 2409 MODP group, a standard published safe prime.
+const oakleyGroup2Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381" +
+	"FFFFFFFFFFFFFFFF"
+
+// groupPrime returns the shared safe prime all parties agree on.
+func groupPrime() *big.Int {
+	p, ok := new(big.Int).SetString(oakleyGroup2Hex, 16)
+	if !ok {
+		panic("smc: bad builtin prime")
+	}
+	return p
+}
+
+// ErrNotInGroup reports an element outside [1, p-1].
+var ErrNotInGroup = errors.New("smc: element outside the group")
+
+// CommutativeCipher is one party's Pohlig–Hellman key over the shared
+// group.
+type CommutativeCipher struct {
+	p    *big.Int
+	pm1  *big.Int
+	k    *big.Int
+	kInv *big.Int
+}
+
+// NewCommutativeCipher draws a fresh key invertible modulo p-1.
+func NewCommutativeCipher(random io.Reader) (*CommutativeCipher, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	p := groupPrime()
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	for {
+		k, err := rand.Int(random, pm1)
+		if err != nil {
+			return nil, err
+		}
+		if k.Sign() == 0 {
+			continue
+		}
+		kInv := new(big.Int).ModInverse(k, pm1)
+		if kInv == nil {
+			continue
+		}
+		return &CommutativeCipher{p: p, pm1: pm1, k: k, kInv: kInv}, nil
+	}
+}
+
+// Encrypt computes x^k mod p.
+func (c *CommutativeCipher) Encrypt(x *big.Int) (*big.Int, error) {
+	if x.Sign() <= 0 || x.Cmp(c.p) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNotInGroup, x)
+	}
+	return new(big.Int).Exp(x, c.k, c.p), nil
+}
+
+// Decrypt removes this party's encryption layer (in any layer order).
+func (c *CommutativeCipher) Decrypt(y *big.Int) (*big.Int, error) {
+	if y.Sign() <= 0 || y.Cmp(c.p) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNotInGroup, y)
+	}
+	return new(big.Int).Exp(y, c.kInv, c.p), nil
+}
+
+// EncodeItem maps a non-negative int64 item into the group (shifted by 2
+// to avoid the fixed points 0 and 1).
+func EncodeItem(item int64) *big.Int {
+	return big.NewInt(item + 2)
+}
+
+// DecodeItem inverts EncodeItem.
+func DecodeItem(x *big.Int) int64 { return x.Int64() - 2 }

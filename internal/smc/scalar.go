@@ -1,0 +1,67 @@
+package smc
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"pds/internal/privcrypto"
+)
+
+// Scalar product errors.
+var (
+	ErrVectorLength = errors.New("smc: vectors must have equal nonzero length")
+	ErrNegative     = errors.New("smc: scalar product inputs must be non-negative")
+)
+
+// ScalarProduct runs the two-party secure scalar product: Alice (who holds
+// the Paillier private key and vector a) sends element-wise encryptions;
+// Bob (vector b) computes Enc(Σ aᵢbᵢ) purely homomorphically and returns
+// it re-randomized. Alice learns only the dot product; Bob learns nothing
+// (he only ever sees ciphertexts under Alice's key).
+func ScalarProduct(a, b []int64, sk *privcrypto.PaillierPrivateKey) (int64, *Trace, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0, nil, fmt.Errorf("%w: %d vs %d", ErrVectorLength, len(a), len(b))
+	}
+	pk := sk.Public()
+	tr := &Trace{}
+
+	// Alice → Bob: Enc(a_i).
+	encA := make([]*big.Int, len(a))
+	for i, v := range a {
+		if v < 0 {
+			return 0, nil, fmt.Errorf("%w: a[%d]=%d", ErrNegative, i, v)
+		}
+		c, err := pk.EncryptInt64(v, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		encA[i] = c
+		tr.Messages++
+		tr.Bytes += len(c.Bytes())
+	}
+
+	// Bob: Enc(Σ a_i·b_i) = Π Enc(a_i)^{b_i}, re-randomized with Enc(0).
+	acc, err := pk.EncryptZero(nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, w := range b {
+		if w < 0 {
+			return 0, nil, fmt.Errorf("%w: b[%d]=%d", ErrNegative, i, w)
+		}
+		if w == 0 {
+			continue
+		}
+		acc = pk.AddCipher(acc, pk.MulPlain(encA[i], big.NewInt(w)))
+	}
+
+	// Bob → Alice: the blinded aggregate.
+	tr.Messages++
+	tr.Bytes += len(acc.Bytes())
+	dot, err := sk.Decrypt(acc)
+	if err != nil {
+		return 0, nil, err
+	}
+	return dot.Int64(), tr, nil
+}

@@ -1,0 +1,135 @@
+package smc
+
+import (
+	"math/big"
+	"sort"
+)
+
+// SecureSetUnion computes the union of the parties' private item sets with
+// the [CKV+02] commutative-encryption protocol:
+//
+//  1. every party encrypts its own items with its key and passes them
+//     along the ring until each item carries every party's layer;
+//  2. the fully-encrypted multiset is pooled and deduplicated — equal
+//     items collide regardless of origin, and nobody can tell whose
+//     duplicate was removed;
+//  3. the layers are peeled off by each party in turn, revealing the
+//     union but not the item↔owner mapping (the pool is shuffled by
+//     sorting ciphertexts).
+//
+// Items must be non-negative. The returned union is sorted. The Trace
+// counts ring messages (one per item hop).
+func SecureSetUnion(sets [][]int64) ([]int64, *Trace, error) {
+	if len(sets) < 3 {
+		return nil, nil, ErrTooFewParties
+	}
+	n := len(sets)
+	ciphers := make([]*CommutativeCipher, n)
+	for i := range ciphers {
+		c, err := NewCommutativeCipher(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		ciphers[i] = c
+	}
+	tr := &Trace{}
+
+	// Phase 1: full encryption of every item by every party.
+	var pool []*big.Int
+	for owner, set := range sets {
+		for _, item := range set {
+			x := EncodeItem(item)
+			for hop := 0; hop < n; hop++ {
+				party := (owner + hop) % n
+				var err error
+				x, err = ciphers[party].Encrypt(x)
+				if err != nil {
+					return nil, nil, err
+				}
+				tr.Messages++
+				tr.Bytes += len(x.Bytes())
+			}
+			pool = append(pool, x)
+		}
+	}
+
+	// Phase 2: dedupe on ciphertexts; sort to destroy arrival order.
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Cmp(pool[j]) < 0 })
+	uniq := pool[:0]
+	for i, x := range pool {
+		if i == 0 || x.Cmp(pool[i-1]) != 0 {
+			uniq = append(uniq, x)
+		}
+	}
+
+	// Phase 3: peel every layer (layer order is irrelevant — that is the
+	// commutativity).
+	out := make([]int64, 0, len(uniq))
+	for _, x := range uniq {
+		y := x
+		for _, c := range ciphers {
+			var err error
+			y, err = c.Decrypt(y)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr.Messages++
+			tr.Bytes += len(y.Bytes())
+		}
+		out = append(out, DecodeItem(y))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, tr, nil
+}
+
+// SecureIntersectionSize computes |∩ sets| with the same machinery: after
+// full encryption, an item present at every party yields n equal
+// ciphertexts, so the size of the intersection is the number of ciphertext
+// values with multiplicity n. Nothing is ever decrypted — only the size is
+// learned.
+//
+// Each party's set must not contain duplicates (sets, not multisets).
+func SecureIntersectionSize(sets [][]int64) (int, *Trace, error) {
+	if len(sets) < 3 {
+		return 0, nil, ErrTooFewParties
+	}
+	n := len(sets)
+	ciphers := make([]*CommutativeCipher, n)
+	for i := range ciphers {
+		c, err := NewCommutativeCipher(nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		ciphers[i] = c
+	}
+	tr := &Trace{}
+	counts := map[string]int{}
+	for owner, set := range sets {
+		seen := map[int64]bool{}
+		for _, item := range set {
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			x := EncodeItem(item)
+			for hop := 0; hop < n; hop++ {
+				party := (owner + hop) % n
+				var err error
+				x, err = ciphers[party].Encrypt(x)
+				if err != nil {
+					return 0, nil, err
+				}
+				tr.Messages++
+				tr.Bytes += len(x.Bytes())
+			}
+			counts[string(x.Bytes())]++
+		}
+	}
+	size := 0
+	for _, c := range counts {
+		if c == n {
+			size++
+		}
+	}
+	return size, tr, nil
+}

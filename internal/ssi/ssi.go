@@ -1,0 +1,207 @@
+// Package ssi models the Supporting Server Infrastructure of the
+// asymmetric PDS architecture: a powerful but untrusted server that
+// stores, partitions and routes the encrypted envelopes the tokens
+// exchange. Following the tutorial's threat model, the server can be:
+//
+//   - honest-but-curious (semi-honest): it follows the protocol but
+//     records everything it sees, hoping to infer data — the Observations
+//     type captures exactly what it could learn;
+//   - weakly malicious (covert): it may drop, duplicate or forge
+//     envelopes, but does not want to be detected.
+//
+// The server never holds a decryption key; any plaintext reaching it is a
+// protocol bug that the leakage tests would expose.
+package ssi
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"pds/internal/netsim"
+)
+
+// Mode selects the adversary model of the server.
+type Mode int
+
+// Adversary modes from the tutorial's threat model.
+const (
+	HonestButCurious Mode = iota
+	WeaklyMalicious
+)
+
+func (m Mode) String() string {
+	switch m {
+	case HonestButCurious:
+		return "honest-but-curious"
+	case WeaklyMalicious:
+		return "weakly-malicious"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Behavior parameterizes a weakly-malicious server. Rates are per
+// envelope, applied during partitioning.
+type Behavior struct {
+	DropRate      float64
+	DuplicateRate float64
+	ForgeRate     float64
+	Seed          int64
+}
+
+// Observations is what the server could learn by watching the protocol.
+type Observations struct {
+	Envelopes int
+	Bytes     int64
+	// GroupFrequencies counts, per opaque grouping key the server used
+	// (e.g. a deterministic ciphertext or a bucket id), how many tuples
+	// it saw — the leakage channel of the deterministic protocols.
+	GroupFrequencies map[string]int
+	// DistinctPayloads counts distinct payloads; under non-deterministic
+	// encryption this equals Envelopes (nothing groups).
+	DistinctPayloads int
+}
+
+// Server is one SSI instance bound to a network.
+type Server struct {
+	mu       sync.Mutex
+	net      *netsim.Network
+	mode     Mode
+	behavior Behavior
+	rng      *rand.Rand
+
+	inbox    []netsim.Envelope
+	obs      Observations
+	payloads map[string]bool
+}
+
+// New creates a server in the given mode.
+func New(net *netsim.Network, mode Mode, b Behavior) *Server {
+	return &Server{
+		net:      net,
+		mode:     mode,
+		behavior: b,
+		rng:      rand.New(rand.NewSource(b.Seed)),
+		obs:      Observations{GroupFrequencies: map[string]int{}},
+		payloads: map[string]bool{},
+	}
+}
+
+// Mode returns the adversary mode.
+func (s *Server) Mode() Mode { return s.mode }
+
+// Receive stores one envelope (a PDS upload). The server dutifully records
+// what it observes.
+func (s *Server) Receive(e netsim.Envelope) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inbox = append(s.inbox, e)
+	s.obs.Envelopes++
+	s.obs.Bytes += int64(len(e.Payload))
+	if !s.payloads[string(e.Payload)] {
+		s.payloads[string(e.Payload)] = true
+		s.obs.DistinctPayloads++
+	}
+}
+
+// ObserveGroup lets protocol code report the opaque key under which the
+// server grouped an envelope (det ciphertext, bucket id, ...). Honest
+// protocols call it exactly where the real server could group.
+func (s *Server) ObserveGroup(key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.GroupFrequencies[string(key)]++
+}
+
+// Pending returns how many envelopes await partitioning.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inbox)
+}
+
+// Observations returns a copy of the leakage record.
+func (s *Server) Observations() Observations {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.obs
+	out.GroupFrequencies = make(map[string]int, len(s.obs.GroupFrequencies))
+	for k, v := range s.obs.GroupFrequencies {
+		out.GroupFrequencies[k] = v
+	}
+	return out
+}
+
+// FrequencyHistogram returns the sorted multiset of group frequencies the
+// server observed — the shape an attacker would try to match against a
+// known distribution.
+func (o Observations) FrequencyHistogram() []int {
+	out := make([]int, 0, len(o.GroupFrequencies))
+	for _, v := range o.GroupFrequencies {
+		out = append(out, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Partition splits the inbox into chunks of at most chunkSize envelopes,
+// consuming it. A weakly-malicious server misbehaves here: it drops,
+// duplicates, or forges envelopes according to its Behavior — covertly,
+// hoping the tokens' integrity checks miss it.
+func (s *Server) Partition(chunkSize int) ([][]netsim.Envelope, error) {
+	if chunkSize < 1 {
+		return nil, fmt.Errorf("ssi: chunkSize must be >= 1, got %d", chunkSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	work := s.inbox
+	s.inbox = nil
+	if s.mode == WeaklyMalicious {
+		work = s.corrupt(work)
+	}
+	var chunks [][]netsim.Envelope
+	for len(work) > 0 {
+		n := chunkSize
+		if n > len(work) {
+			n = len(work)
+		}
+		chunks = append(chunks, work[:n])
+		work = work[n:]
+	}
+	return chunks, nil
+}
+
+// corrupt applies the covert misbehaviour.
+func (s *Server) corrupt(in []netsim.Envelope) []netsim.Envelope {
+	var out []netsim.Envelope
+	for _, e := range in {
+		r := s.rng.Float64()
+		switch {
+		case r < s.behavior.DropRate:
+			continue
+		case r < s.behavior.DropRate+s.behavior.DuplicateRate:
+			out = append(out, e, e)
+		case r < s.behavior.DropRate+s.behavior.DuplicateRate+s.behavior.ForgeRate:
+			forged := e
+			forged.Payload = append([]byte(nil), e.Payload...)
+			if len(forged.Payload) > 0 {
+				forged.Payload[s.rng.Intn(len(forged.Payload))] ^= 0xA5
+			}
+			out = append(out, forged)
+		default:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HashID derives a 64-bit opaque tuple id from a PDS id and a sequence
+// number; protocols use the sum of ids as a drop/duplication detector.
+func HashID(pds string, seq int) uint64 {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", pds, seq)))
+	return binary.LittleEndian.Uint64(h[:8])
+}

@@ -1,0 +1,21 @@
+package tseries_test
+
+import (
+	"fmt"
+
+	"pds/internal/flash"
+	"pds/internal/tseries"
+)
+
+// Window aggregates answer mostly from per-segment summaries.
+func Example() {
+	s := tseries.New(flash.NewAllocator(flash.NewChip(flash.SmallGeometry())))
+	defer s.Drop()
+	for t := int64(0); t < 100; t++ {
+		s.Append(tseries.Point{T: t, V: t % 10})
+	}
+	agg, _, _ := s.Window(10, 29)
+	fmt.Printf("count=%d sum=%d min=%d max=%d\n", agg.Count, agg.Sum, agg.Min, agg.Max)
+	// Output:
+	// count=20 sum=90 min=0 max=9
+}

@@ -1,0 +1,241 @@
+// Package workload generates the deterministic synthetic datasets every
+// experiment runs on, standing in for the paper's private corpora (mails,
+// medical records, TPC-D data, census microdata, meter readings) while
+// preserving the shapes that matter: Zipfian vocabularies, skewed group
+// distributions, star-schema cardinality ratios.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pds/internal/anon"
+	"pds/internal/embdb"
+	"pds/internal/gquery"
+)
+
+// Documents generates n documents over a Zipf-distributed vocabulary of
+// vocabSize terms, each with termsPerDoc distinct terms and small integer
+// frequencies — the email/notes corpus of the embedded search engine
+// experiments.
+func Documents(n, vocabSize, termsPerDoc int, seed int64) []map[string]int {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(vocabSize-1))
+	docs := make([]map[string]int, n)
+	for i := range docs {
+		d := make(map[string]int, termsPerDoc)
+		for len(d) < termsPerDoc {
+			term := fmt.Sprintf("term%05d", zipf.Uint64())
+			d[term] = 1 + rng.Intn(5)
+		}
+		docs[i] = d
+	}
+	return docs
+}
+
+// StarScale sets the table cardinalities of the TPC-D-like schema.
+type StarScale struct {
+	Customers int
+	Suppliers int
+	Orders    int
+	PartSupps int
+	LineItems int
+}
+
+// StarScaleFactor mimics TPC-D ratios at a fraction sf of SF=1
+// (150k customers, 10k suppliers, 1.5M orders, 800k partsupps, 6M
+// lineitems — scaled down).
+func StarScaleFactor(sf float64) StarScale {
+	clamp := func(v float64) int {
+		if v < 2 {
+			return 2
+		}
+		return int(v)
+	}
+	return StarScale{
+		Customers: clamp(150000 * sf),
+		Suppliers: clamp(10000 * sf),
+		Orders:    clamp(1500000 * sf),
+		PartSupps: clamp(800000 * sf),
+		LineItems: clamp(6000000 * sf),
+	}
+}
+
+// MktSegments are the CUSTOMER market segments.
+var MktSegments = []string{"HOUSEHOLD", "AUTOMOBILE", "BUILDING", "MACHINERY", "FURNITURE"}
+
+// BuildStar creates and loads the tutorial's query schema into db:
+//
+//	LINEITEM → ORDERS → CUSTOMER ; LINEITEM → PARTSUPP → SUPPLIER
+//
+// with the Tjoin index rooted at LINEITEM and Tselect indexes on
+// CUSTOMER.mktsegment, SUPPLIER.name and LINEITEM.qty.
+func BuildStar(db *embdb.DB, s StarScale, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	type tdef struct {
+		name   string
+		schema embdb.Schema
+	}
+	for _, td := range []tdef{
+		{"CUSTOMER", embdb.NewSchema(
+			embdb.Column{Name: "name", Type: embdb.Str},
+			embdb.Column{Name: "mktsegment", Type: embdb.Str},
+			embdb.Column{Name: "address", Type: embdb.Str})},
+		{"SUPPLIER", embdb.NewSchema(
+			embdb.Column{Name: "name", Type: embdb.Str},
+			embdb.Column{Name: "nation", Type: embdb.Str})},
+		{"ORDERS", embdb.NewSchema(
+			embdb.Column{Name: "cuskey", Type: embdb.Int},
+			embdb.Column{Name: "priority", Type: embdb.Str})},
+		{"PARTSUPP", embdb.NewSchema(
+			embdb.Column{Name: "supkey", Type: embdb.Int},
+			embdb.Column{Name: "cost", Type: embdb.Int})},
+		{"LINEITEM", embdb.NewSchema(
+			embdb.Column{Name: "ordkey", Type: embdb.Int},
+			embdb.Column{Name: "pskey", Type: embdb.Int},
+			embdb.Column{Name: "qty", Type: embdb.Int})},
+	} {
+		if _, err := db.CreateTable(td.name, td.schema); err != nil {
+			return err
+		}
+	}
+	for _, fk := range [][3]string{
+		{"ORDERS", "cuskey", "CUSTOMER"},
+		{"PARTSUPP", "supkey", "SUPPLIER"},
+		{"LINEITEM", "ordkey", "ORDERS"},
+		{"LINEITEM", "pskey", "PARTSUPP"},
+	} {
+		if err := db.AddForeignKey(fk[0], fk[1], fk[2]); err != nil {
+			return err
+		}
+	}
+	if _, err := db.CreateJoinIndex("LINEITEM"); err != nil {
+		return err
+	}
+	for _, ts := range [][2]string{
+		{"CUSTOMER", "mktsegment"}, {"SUPPLIER", "name"}, {"LINEITEM", "qty"},
+	} {
+		if err := db.CreateTselect("LINEITEM", ts[0], ts[1]); err != nil {
+			return err
+		}
+	}
+
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW"}
+	nations := []string{"FRANCE", "GERMANY", "JAPAN", "BRAZIL"}
+	for i := 0; i < s.Customers; i++ {
+		if _, err := db.Insert("CUSTOMER", embdb.Row{
+			embdb.StrVal(fmt.Sprintf("Customer#%06d", i)),
+			embdb.StrVal(MktSegments[rng.Intn(len(MktSegments))]),
+			embdb.StrVal(fmt.Sprintf("addr-%08d", rng.Int63n(1e8))),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < s.Suppliers; i++ {
+		if _, err := db.Insert("SUPPLIER", embdb.Row{
+			embdb.StrVal(fmt.Sprintf("SUPPLIER-%d", i)),
+			embdb.StrVal(nations[rng.Intn(len(nations))]),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < s.Orders; i++ {
+		if _, err := db.Insert("ORDERS", embdb.Row{
+			embdb.IntVal(rng.Int63n(int64(s.Customers))),
+			embdb.StrVal(priorities[rng.Intn(len(priorities))]),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < s.PartSupps; i++ {
+		if _, err := db.Insert("PARTSUPP", embdb.Row{
+			embdb.IntVal(rng.Int63n(int64(s.Suppliers))),
+			embdb.IntVal(rng.Int63n(100000)),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < s.LineItems; i++ {
+		if _, err := db.Insert("LINEITEM", embdb.Row{
+			embdb.IntVal(rng.Int63n(int64(s.Orders))),
+			embdb.IntVal(rng.Int63n(int64(s.PartSupps))),
+			embdb.IntVal(1 + rng.Int63n(50)),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Diagnoses is the sensitive-attribute domain of the health datasets.
+var Diagnoses = []string{
+	"healthy", "flu", "asthma", "diabetes", "hypertension",
+	"migraine", "arthritis", "allergy",
+}
+
+// Census generates census-like microdata: QIs (age, zipcode) and a
+// diagnosis, for the PPDP experiments.
+func Census(n int, seed int64) anon.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := anon.Dataset{
+		QINames: []string{"age", "zip"},
+		Hierarchies: []anon.Hierarchy{
+			anon.RangeHierarchy{Base: 5, Depth: 4},
+			anon.PrefixHierarchy{MaxLen: 5},
+		},
+	}
+	for i := 0; i < n; i++ {
+		ds.Records = append(ds.Records, anon.Record{
+			QI: []string{
+				fmt.Sprintf("%d", 18+rng.Intn(72)),
+				fmt.Sprintf("75%03d", rng.Intn(200)),
+			},
+			Sensitive: Diagnoses[rng.Intn(len(Diagnoses))],
+		})
+	}
+	return ds
+}
+
+// Participants generates nPDS query participants each holding tuplesEach
+// (diagnosis, cost) tuples with a skewed group distribution — the
+// population of the global aggregate experiments.
+func Participants(nPDS, tuplesEach int, seed int64) []gquery.Participant {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]gquery.Participant, nPDS)
+	for i := range parts {
+		parts[i].ID = fmt.Sprintf("pds-%05d", i)
+		for j := 0; j < tuplesEach; j++ {
+			// Squared-uniform skew: early diagnoses dominate.
+			g := Diagnoses[int(float64(len(Diagnoses))*rng.Float64()*rng.Float64())]
+			parts[i].Tuples = append(parts[i].Tuples, gquery.Tuple{
+				Group: g,
+				Value: 10 + rng.Int63n(500),
+			})
+		}
+	}
+	return parts
+}
+
+// MeterReadings generates a day of 15-minute smart-meter readings (in
+// watt-hours) for n homes — the Trusted-Cells/Folk-IS flavoured workload.
+func MeterReadings(homes int, seed int64) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int64, homes)
+	for h := range out {
+		base := 150 + rng.Int63n(300)
+		day := make([]int64, 96)
+		for q := range day {
+			// Morning and evening peaks.
+			peak := int64(0)
+			switch {
+			case q >= 26 && q <= 34: // 6:30-8:30
+				peak = 200 + rng.Int63n(400)
+			case q >= 72 && q <= 88: // 18:00-22:00
+				peak = 300 + rng.Int63n(600)
+			}
+			day[q] = base + peak + rng.Int63n(50)
+		}
+		out[h] = day
+	}
+	return out
+}

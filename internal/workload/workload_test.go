@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+
+	"pds/internal/embdb"
+	"pds/internal/flash"
+	"pds/internal/mcu"
+)
+
+func TestDocumentsShape(t *testing.T) {
+	docs := Documents(100, 1000, 8, 1)
+	if len(docs) != 100 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	for i, d := range docs {
+		if len(d) != 8 {
+			t.Errorf("doc %d has %d terms", i, len(d))
+		}
+		for term, tf := range d {
+			if tf < 1 || tf > 5 {
+				t.Errorf("doc %d term %s tf=%d", i, term, tf)
+			}
+		}
+	}
+}
+
+func TestDocumentsDeterministic(t *testing.T) {
+	a := Documents(20, 100, 5, 42)
+	b := Documents(20, 100, 5, 42)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("doc %d differs", i)
+		}
+		for k, v := range a[i] {
+			if b[i][k] != v {
+				t.Fatalf("doc %d term %s differs", i, k)
+			}
+		}
+	}
+}
+
+func TestDocumentsZipfSkew(t *testing.T) {
+	docs := Documents(2000, 5000, 5, 7)
+	freq := map[string]int{}
+	for _, d := range docs {
+		for term := range d {
+			freq[term]++
+		}
+	}
+	// Zipf: the most frequent term should appear far more often than the
+	// median term.
+	max := 0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+	}
+	if max < 200 {
+		t.Errorf("head term frequency %d; expected heavy skew", max)
+	}
+}
+
+func TestStarScaleFactor(t *testing.T) {
+	s := StarScaleFactor(0.001)
+	if s.Customers != 150 || s.LineItems != 6000 {
+		t.Errorf("scale = %+v", s)
+	}
+	tiny := StarScaleFactor(0)
+	if tiny.Customers < 2 {
+		t.Errorf("zero scale not clamped: %+v", tiny)
+	}
+}
+
+func TestBuildStarLoads(t *testing.T) {
+	alloc := flash.NewAllocator(flash.NewChip(flash.Geometry{PageSize: 512, PagesPerBlock: 16, Blocks: 4096}))
+	db := embdb.NewDB(alloc, mcu.NewArena(0))
+	s := StarScale{Customers: 20, Suppliers: 5, Orders: 40, PartSupps: 20, LineItems: 200}
+	if err := BuildStar(db, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	li, err := db.Table("LINEITEM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Len() != 200 {
+		t.Errorf("lineitems = %d", li.Len())
+	}
+	// The star indexes must be queryable immediately.
+	rows, err := db.ExecuteStar(embdb.StarQuery{
+		Root:    "LINEITEM",
+		Conds:   []embdb.Cond{{Table: "SUPPLIER", Col: "name", Val: embdb.StrVal("SUPPLIER-1")}},
+		Project: []embdb.ColRef{{Table: "LINEITEM", Col: "qty"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.All(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	ds := Census(50, 3)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 50 {
+		t.Errorf("records = %d", len(ds.Records))
+	}
+	for _, r := range ds.Records {
+		if len(r.QI) != 2 || r.Sensitive == "" {
+			t.Errorf("record = %+v", r)
+		}
+	}
+}
+
+func TestParticipantsShape(t *testing.T) {
+	parts := Participants(10, 4, 5)
+	if len(parts) != 10 {
+		t.Fatalf("participants = %d", len(parts))
+	}
+	ids := map[string]bool{}
+	for _, p := range parts {
+		if ids[p.ID] {
+			t.Errorf("duplicate id %s", p.ID)
+		}
+		ids[p.ID] = true
+		if len(p.Tuples) != 4 {
+			t.Errorf("%s tuples = %d", p.ID, len(p.Tuples))
+		}
+	}
+}
+
+func TestMeterReadings(t *testing.T) {
+	homes := MeterReadings(5, 9)
+	if len(homes) != 5 {
+		t.Fatalf("homes = %d", len(homes))
+	}
+	for h, day := range homes {
+		if len(day) != 96 {
+			t.Fatalf("home %d readings = %d", h, len(day))
+		}
+		var offPeak, evening int64
+		for q := 40; q < 48; q++ {
+			offPeak += day[q]
+		}
+		for q := 76; q < 84; q++ {
+			evening += day[q]
+		}
+		if evening <= offPeak {
+			t.Errorf("home %d: evening peak %d <= off-peak %d", h, evening, offPeak)
+		}
+	}
+}
