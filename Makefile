@@ -1,0 +1,26 @@
+# Standard gates for the pds repro. `make ci` is what a checkin must pass:
+# vet, the full test suite, and the race detector over the concurrent
+# substrate (netsim/ssi accounting plane, gquery token fleet, privcrypto
+# batch helpers, smc parallel protocols).
+
+GO ?= go
+
+.PHONY: ci build test vet race bench-part3
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/gquery/... ./internal/netsim/... ./internal/ssi/... ./internal/privcrypto/... ./internal/smc/...
+
+ci: vet build test race
+
+# Serial-vs-parallel perf trajectory for the Part III protocols.
+bench-part3:
+	$(GO) test -run xxx -bench 'E6SecureAgg|E6NoiseControlled|E7Paillier' -benchmem .

@@ -7,6 +7,7 @@ package pds
 
 import (
 	"fmt"
+	"math/big"
 	"math/rand"
 	"sync"
 	"testing"
@@ -342,6 +343,17 @@ func BenchmarkE5InPlaceInsert(b *testing.B) {
 
 // --- E6: global aggregation ---------------------------------------------------
 
+// benchSeed pins every Part III benchmark input: serial/parallel twins must
+// aggregate the exact same tuples for their throughput ratio to mean
+// anything, so all setup randomness is drawn from explicit seeds.
+const benchSeed = 42
+
+// benchE6Parts returns the deterministic participant population shared by
+// all E6 benchmark variants.
+func benchE6Parts() []gquery.Participant {
+	return workload.Participants(200, 3, benchSeed)
+}
+
 func benchKeyring(b *testing.B) *gquery.Keyring {
 	kr, err := gquery.KeyringFrom(make([]byte, 32))
 	if err != nil {
@@ -351,7 +363,7 @@ func benchKeyring(b *testing.B) *gquery.Keyring {
 }
 
 func BenchmarkE6SecureAgg(b *testing.B) {
-	parts := workload.Participants(200, 3, 42)
+	parts := benchE6Parts()
 	kr := benchKeyring(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -363,8 +375,24 @@ func BenchmarkE6SecureAgg(b *testing.B) {
 	}
 }
 
+// BenchmarkE6SecureAggParallel is the token-fleet twin of
+// BenchmarkE6SecureAgg: identical inputs, aggregation fanned out over
+// GOMAXPROCS worker tokens.
+func BenchmarkE6SecureAggParallel(b *testing.B) {
+	parts := benchE6Parts()
+	kr := benchKeyring(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := netsim.New()
+		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Parallel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkE6NoiseControlled(b *testing.B) {
-	parts := workload.Participants(200, 3, 42)
+	parts := benchE6Parts()
 	kr := benchKeyring(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -376,8 +404,21 @@ func BenchmarkE6NoiseControlled(b *testing.B) {
 	}
 }
 
+func BenchmarkE6NoiseControlledParallel(b *testing.B) {
+	parts := benchE6Parts()
+	kr := benchKeyring(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := netsim.New()
+		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		if _, _, err := gquery.RunNoiseCfg(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1, gquery.Parallel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkE6Histogram(b *testing.B) {
-	parts := workload.Participants(200, 3, 42)
+	parts := benchE6Parts()
 	kr := benchKeyring(b)
 	buckets, err := gquery.EquiDepthBuckets(workload.Diagnoses, nil, 4)
 	if err != nil {
@@ -462,6 +503,66 @@ func BenchmarkE7PaillierEncrypt(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pk.EncryptInt64(int64(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7PaillierEncryptPooled measures the hot path once the r^N
+// blinding factors are precomputed by a randomizer pool.
+func BenchmarkE7PaillierEncryptPooled(b *testing.B) {
+	pk := benchPaillier(b).Public()
+	pool, err := pk.NewRandomizerPool(b.N, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.EncryptInt64(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// paillier1024 keys the decrypt twins: the CRT-vs-textbook acceptance
+// ratio is specified at 1024-bit moduli.
+var paillier1024Once sync.Once
+var paillier1024Key *privcrypto.PaillierPrivateKey
+var paillier1024Cipher *big.Int
+
+func benchPaillier1024(b *testing.B) *privcrypto.PaillierPrivateKey {
+	paillier1024Once.Do(func() {
+		k, err := privcrypto.GeneratePaillier(1024, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := k.EncryptInt64(123456789, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paillier1024Key, paillier1024Cipher = k, c
+	})
+	return paillier1024Key
+}
+
+func BenchmarkE7PaillierDecryptTextbook(b *testing.B) {
+	sk := benchPaillier1024(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.DecryptTextbook(paillier1024Cipher); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7PaillierDecryptCRT is the fast-path twin of
+// BenchmarkE7PaillierDecryptTextbook: same key, same ciphertext, decryption
+// via the retained prime factorization.
+func BenchmarkE7PaillierDecryptCRT(b *testing.B) {
+	sk := benchPaillier1024(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(paillier1024Cipher); err != nil {
 			b.Fatal(err)
 		}
 	}

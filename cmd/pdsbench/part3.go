@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -183,6 +184,48 @@ func runE6(cfg config) error {
 		fmt.Fprintf(w, "%d\t%.1f\t%d\n",
 			len(buckets), relSumError(est, truth), len(srv.Observations().GroupFrequencies))
 	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// Token-fleet execution: the aggregation phase fanned out over a
+	// worker pool (Workers=1 is the paper-faithful serial baseline).
+	fleet := runtime.GOMAXPROCS(0)
+	fmt.Printf("\n-- token-fleet execution: serial vs parallel secure-agg (%d workers) --\n", fleet)
+	fleetPops := []int{200, 1000}
+	if cfg.quick {
+		fleetPops = []int{200}
+	}
+	w = newTab()
+	fmt.Fprintln(w, "PDS\tserial\tparallel\tspeedup\tresult-equal")
+	for _, n := range fleetPops {
+		parts := workload.Participants(n, 3, 42)
+		net := netsim.New()
+		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		start := time.Now()
+		serRes, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Serial())
+		if err != nil {
+			return err
+		}
+		serial := time.Since(start)
+		net = netsim.New()
+		srv = ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		start = time.Now()
+		parRes, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Parallel())
+		if err != nil {
+			return err
+		}
+		parallel := time.Since(start)
+		equal := len(serRes) == len(parRes)
+		for g, a := range serRes {
+			if parRes[g] != a {
+				equal = false
+			}
+		}
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.2fx\t%v\n",
+			n, serial.Round(time.Microsecond), parallel.Round(time.Microsecond),
+			float64(serial)/float64(parallel), equal)
+	}
 	return w.Flush()
 }
 
@@ -262,6 +305,11 @@ func runE7(cfg config) error {
 			return err
 		}
 		fmt.Fprintf(w, "scalar-product\tlen=%d\t%d\t%v\n", n, tr.Messages, time.Since(start).Round(time.Millisecond))
+		start = time.Now()
+		if _, _, err := smc.ScalarProductCfg(a, b, sk, 0); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "scalar-product(par)\tlen=%d\t%d\t%v\n", n, tr.Messages, time.Since(start).Round(time.Millisecond))
 	}
 	rsa, err := privcrypto.GenerateRSA(512, nil)
 	if err != nil {
@@ -286,8 +334,12 @@ func runE7(cfg config) error {
 	fmt.Println("\n-- Paillier primitive costs (512-bit modulus) --")
 	const ops = 20
 	pk := sk.Public()
+	pool, err := pk.NewRandomizerPool(ops, nil)
+	if err != nil {
+		return err
+	}
 	var start time.Time
-	var encTotal, addTotal, decTotal time.Duration
+	var encTotal, encPoolTotal, addTotal, decTotal, decTextbookTotal time.Duration
 	acc, err := pk.EncryptZero(nil)
 	if err != nil {
 		return err
@@ -300,6 +352,11 @@ func runE7(cfg config) error {
 		}
 		encTotal += time.Since(start)
 		start = time.Now()
+		if _, err := pool.EncryptInt64(int64(i)); err != nil {
+			return err
+		}
+		encPoolTotal += time.Since(start)
+		start = time.Now()
 		acc = pk.AddCipher(acc, c)
 		addTotal += time.Since(start)
 		start = time.Now()
@@ -307,11 +364,20 @@ func runE7(cfg config) error {
 			return err
 		}
 		decTotal += time.Since(start)
+		start = time.Now()
+		if _, err := sk.DecryptTextbook(acc); err != nil {
+			return err
+		}
+		decTextbookTotal += time.Since(start)
 	}
-	fmt.Printf("encrypt %v/op, homomorphic-add %v/op, decrypt %v/op\n",
+	fmt.Printf("encrypt %v/op (pooled randomizer %v/op), homomorphic-add %v/op\n",
 		(encTotal / ops).Round(time.Microsecond),
-		(addTotal / ops).Round(time.Microsecond),
-		(decTotal / ops).Round(time.Microsecond))
+		(encPoolTotal / ops).Round(time.Microsecond),
+		(addTotal / ops).Round(time.Microsecond))
+	fmt.Printf("decrypt textbook %v/op, CRT %v/op (%.1fx)\n",
+		(decTextbookTotal / ops).Round(time.Microsecond),
+		(decTotal / ops).Round(time.Microsecond),
+		float64(decTextbookTotal)/float64(decTotal))
 	return nil
 }
 

@@ -91,6 +91,14 @@ type BucketResult map[int]GroupAgg
 // result is coarse: per bucket, not per group (see EstimateGroups).
 func RunHistogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
 	buckets []Bucket) (BucketResult, RunStats, error) {
+	return RunHistogramCfg(net, srv, parts, kr, buckets, Serial())
+}
+
+// RunHistogramCfg is RunHistogram with an explicit execution config: the
+// per-bucket token aggregation fans out over cfg.Workers concurrent
+// tokens, scheduled in bucket-id order so results match the serial run.
+func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	buckets []Bucket, cfg RunConfig) (BucketResult, RunStats, error) {
 
 	var stats RunStats
 	if len(parts) == 0 {
@@ -144,42 +152,64 @@ func RunHistogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr 
 	}
 	stats.Chunks = len(byBucket)
 
-	// Aggregation per bucket.
-	res := BucketResult{}
-	var idSum uint64
-	var count int64
-	worker := 0
-	for bkt, envs := range byBucket {
-		w := parts[worker%len(parts)].ID
-		worker++
-		var agg GroupAgg
-		for _, env := range envs {
+	// Aggregation per bucket, fanned out over the token fleet in sorted
+	// bucket order so folding is deterministic.
+	ids := make([]int, 0, len(byBucket))
+	for bkt := range byBucket {
+		ids = append(ids, bkt)
+	}
+	sort.Ints(ids)
+	type bucketOutcome struct {
+		agg         GroupAgg
+		idSum       uint64
+		count       int64
+		macFailures int
+		err         error
+	}
+	outs := make([]bucketOutcome, len(ids))
+	cfg.forEachChunk(len(ids), func(i int) {
+		w := parts[i%len(parts)].ID
+		out := &outs[i]
+		for _, env := range byBucket[ids[i]] {
 			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "bucket-chunk", Payload: env.Payload})
 			body, err := open(kr, env.Payload)
 			if err != nil {
-				stats.MACFailures++
-				stats.Detected = true
+				out.macFailures++
 				continue
 			}
 			pt, err := kr.NonDet.Decrypt(body[2:])
 			if err != nil {
-				stats.MACFailures++
-				stats.Detected = true
+				out.macFailures++
 				continue
 			}
 			t, err := decodeTuplePlain(pt)
 			if err != nil {
-				return nil, stats, err
+				out.err = err
+				return
 			}
-			idSum += t.ID
-			count++
-			agg = agg.Fold(t.Value)
-		}
-		stats.WorkerCalls++
-		if bkt >= 0 {
-			res[bkt] = res[bkt].Merge(agg)
+			out.idSum += t.ID
+			out.count++
+			out.agg = out.agg.Fold(t.Value)
 		}
 		net.Send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: make([]byte, 48)})
+	})
+	res := BucketResult{}
+	var idSum uint64
+	var count int64
+	for i, out := range outs {
+		stats.MACFailures += out.macFailures
+		if out.macFailures > 0 {
+			stats.Detected = true
+		}
+		if out.err != nil {
+			return nil, stats, out.err
+		}
+		stats.WorkerCalls++
+		idSum += out.idSum
+		count += out.count
+		if bkt := ids[i]; bkt >= 0 {
+			res[bkt] = res[bkt].Merge(out.agg)
+		}
 	}
 
 	wantID, wantCount := expectedChecksum(parts, nil)

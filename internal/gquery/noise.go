@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"pds/internal/netsim"
 	"pds/internal/ssi"
@@ -47,6 +48,15 @@ func (k NoiseKind) String() string {
 // Results are exact; leakage is the noised frequency histogram.
 func RunNoise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
+	return RunNoiseCfg(net, srv, parts, kr, domain, noisePerTuple, kind, seed, Serial())
+}
+
+// RunNoiseCfg is RunNoise with an explicit execution config: the per-group
+// token aggregation fans out over cfg.Workers concurrent tokens. Groups
+// are scheduled in sorted deterministic order and partials folded in that
+// order, so results match the serial run.
+func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	domain []string, noisePerTuple float64, kind NoiseKind, seed int64, cfg RunConfig) (Result, RunStats, error) {
 
 	var stats RunStats
 	if len(parts) == 0 {
@@ -134,63 +144,84 @@ func RunNoise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Key
 	}
 	stats.Chunks = len(groups)
 
-	// Aggregation: one token call per observed group.
-	var partials []partialAgg
-	worker := 0
-	processEnv := func(partial *partialAgg, env netsim.Envelope) error {
+	// Aggregation: one token call per observed group, fanned out over the
+	// fleet. Schedule groups in sorted order so worker assignment and
+	// partial folding are deterministic regardless of pool size.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	processEnv := func(out *chunkOutcome, env netsim.Envelope) {
 		body, err := open(kr, env.Payload)
 		if err != nil {
-			stats.MACFailures++
-			stats.Detected = true
-			return nil
+			out.macFailures++
+			return
 		}
 		n := int(binary.LittleEndian.Uint16(body[:2]))
 		vct := body[2+n:]
 		pt, err := kr.NonDet.Decrypt(vct)
 		if err != nil {
-			stats.MACFailures++
-			stats.Detected = true
-			return nil
+			out.macFailures++
+			return
 		}
 		t, err := decodeTuplePlain(pt)
 		if err != nil {
-			return err
+			out.err = err
+			return
 		}
-		partial.IDSum += t.ID
-		partial.Count++
+		out.partial.IDSum += t.ID
+		out.partial.Count++
 		if !t.Fake {
-			partial.Aggs[t.Group] = partial.Aggs[t.Group].Fold(t.Value)
+			out.partial.Aggs[t.Group] = out.partial.Aggs[t.Group].Fold(t.Value)
 		}
-		return nil
 	}
-	for _, envs := range groups {
-		w := parts[worker%len(parts)].ID
-		worker++
-		partial := partialAgg{Aggs: map[string]GroupAgg{}}
+	runToken := func(out *chunkOutcome, w string, envs []netsim.Envelope, sealPartial bool) {
+		out.partial = partialAgg{Aggs: map[string]GroupAgg{}}
 		for _, env := range envs {
 			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload})
-			if err := processEnv(&partial, env); err != nil {
-				return nil, stats, err
+			processEnv(out, env)
+			if out.err != nil {
+				return
 			}
 		}
-		stats.WorkerCalls++
-		pct, err := kr.NonDet.Encrypt(encodePartial(partial))
+		if !sealPartial {
+			return
+		}
+		pct, err := kr.NonDet.Encrypt(encodePartial(out.partial))
 		if err != nil {
-			return nil, stats, err
+			out.err = err
+			return
 		}
 		net.Send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: seal(kr, pct)})
-		partials = append(partials, partial)
+	}
+	outs := make([]chunkOutcome, len(keys))
+	cfg.forEachChunk(len(keys), func(i int) {
+		runToken(&outs[i], parts[i%len(parts)].ID, groups[keys[i]], true)
+	})
+	var partials []partialAgg
+	for _, out := range outs {
+		stats.MACFailures += out.macFailures
+		if out.macFailures > 0 {
+			stats.Detected = true
+		}
+		if out.err != nil {
+			return nil, stats, out.err
+		}
+		stats.WorkerCalls++
+		partials = append(partials, out.partial)
 	}
 	if len(forged) > 0 {
-		w := parts[0].ID
-		partial := partialAgg{Aggs: map[string]GroupAgg{}}
-		for _, env := range forged {
-			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload})
-			if err := processEnv(&partial, env); err != nil {
-				return nil, stats, err
-			}
+		var out chunkOutcome
+		runToken(&out, parts[0].ID, forged, false)
+		stats.MACFailures += out.macFailures
+		if out.macFailures > 0 {
+			stats.Detected = true
 		}
-		partials = append(partials, partial)
+		if out.err != nil {
+			return nil, stats, out.err
+		}
+		partials = append(partials, out.partial)
 	}
 
 	// Merge + integrity check.

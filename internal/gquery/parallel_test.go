@@ -1,0 +1,156 @@
+package gquery
+
+import (
+	"errors"
+	"testing"
+
+	"pds/internal/ssi"
+)
+
+// runBoth executes the same secure-agg inputs serially and over the full
+// token fleet, on fresh network/SSI instances with identical adversary
+// behavior, and returns both outcomes.
+func runBoth(t *testing.T, mode ssi.Mode, b ssi.Behavior, parts []Participant, chunkSize int) (serRes, parRes Result, serStats, parStats RunStats, serErr, parErr error) {
+	t.Helper()
+	kr := mustKeyring(t)
+	net1, srv1 := freshRun(t, mode, b)
+	serRes, serStats, serErr = RunSecureAggCfg(net1, srv1, parts, kr, chunkSize, Serial())
+	net2, srv2 := freshRun(t, mode, b)
+	parRes, parStats, parErr = RunSecureAggCfg(net2, srv2, parts, kr, chunkSize, RunConfig{Workers: 8})
+	return
+}
+
+func TestSecureAggParallelMatchesSerial(t *testing.T) {
+	parts := makeParts(25, 6, testDomain, 11)
+	serRes, parRes, serStats, parStats, serErr, parErr := runBoth(t, ssi.HonestButCurious, ssi.Behavior{}, parts, 7)
+	if serErr != nil || parErr != nil {
+		t.Fatalf("errs: serial=%v parallel=%v", serErr, parErr)
+	}
+	if !resultsEqual(serRes, parRes) {
+		t.Errorf("parallel result diverges\nserial   %v\nparallel %v", serRes, parRes)
+	}
+	if serStats != parStats {
+		t.Errorf("parallel stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
+	}
+	if !resultsEqual(parRes, PlainResult(parts)) {
+		t.Error("parallel result != ground truth")
+	}
+}
+
+func TestSecureAggParallelDetectsDrop(t *testing.T) {
+	parts := makeParts(15, 5, testDomain, 12)
+	b := ssi.Behavior{DropRate: 0.2, Seed: 13}
+	_, _, serStats, parStats, serErr, parErr := runBoth(t, ssi.WeaklyMalicious, b, parts, 8)
+	if !errors.Is(serErr, ErrDetected) || !errors.Is(parErr, ErrDetected) {
+		t.Fatalf("drop not detected: serial=%v parallel=%v", serErr, parErr)
+	}
+	if serStats != parStats {
+		t.Errorf("detection stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
+	}
+}
+
+func TestSecureAggParallelDetectsDuplicate(t *testing.T) {
+	parts := makeParts(15, 5, testDomain, 14)
+	b := ssi.Behavior{DuplicateRate: 0.3, Seed: 15}
+	_, _, serStats, parStats, serErr, parErr := runBoth(t, ssi.WeaklyMalicious, b, parts, 8)
+	if !errors.Is(serErr, ErrDetected) || !errors.Is(parErr, ErrDetected) {
+		t.Fatalf("duplicate not detected: serial=%v parallel=%v", serErr, parErr)
+	}
+	if serStats != parStats {
+		t.Errorf("detection stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
+	}
+}
+
+func TestSecureAggParallelDetectsForgery(t *testing.T) {
+	parts := makeParts(15, 5, testDomain, 16)
+	b := ssi.Behavior{ForgeRate: 0.3, Seed: 17}
+	_, _, serStats, parStats, serErr, parErr := runBoth(t, ssi.WeaklyMalicious, b, parts, 8)
+	if !errors.Is(serErr, ErrDetected) || !errors.Is(parErr, ErrDetected) {
+		t.Fatalf("forgery not detected: serial=%v parallel=%v", serErr, parErr)
+	}
+	if serStats.MACFailures == 0 || serStats != parStats {
+		t.Errorf("MAC failure stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
+	}
+}
+
+func TestNoiseParallelMatchesSerial(t *testing.T) {
+	parts := makeParts(20, 5, testDomain, 18)
+	kr := mustKeyring(t)
+	for _, kind := range []NoiseKind{NoNoise, WhiteNoise, ControlledNoise} {
+		net1, srv1 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+		serRes, serStats, err := RunNoiseCfg(net1, srv1, parts, kr, testDomain, 1, kind, 19, Serial())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net2, srv2 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+		parRes, parStats, err := RunNoiseCfg(net2, srv2, parts, kr, testDomain, 1, kind, 19, RunConfig{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(serRes, parRes) {
+			t.Errorf("%v: parallel noise result diverges", kind)
+		}
+		if serStats != parStats {
+			t.Errorf("%v: parallel noise stats diverge\nserial   %+v\nparallel %+v", kind, serStats, parStats)
+		}
+	}
+}
+
+func TestHistogramParallelMatchesSerial(t *testing.T) {
+	parts := makeParts(20, 5, testDomain, 20)
+	kr := mustKeyring(t)
+	buckets, err := EquiDepthBuckets(testDomain, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net1, srv1 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+	serRes, serStats, err := RunHistogramCfg(net1, srv1, parts, kr, buckets, Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, srv2 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+	parRes, parStats, err := RunHistogramCfg(net2, srv2, parts, kr, buckets, RunConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serRes) != len(parRes) {
+		t.Fatalf("bucket counts diverge: %d vs %d", len(serRes), len(parRes))
+	}
+	for bkt, agg := range serRes {
+		if parRes[bkt] != agg {
+			t.Errorf("bucket %d diverges: serial %+v parallel %+v", bkt, agg, parRes[bkt])
+		}
+	}
+	if serStats != parStats {
+		t.Errorf("parallel histogram stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
+	}
+}
+
+func TestHistogramParallelDetectsDrop(t *testing.T) {
+	parts := makeParts(15, 5, testDomain, 21)
+	kr := mustKeyring(t)
+	buckets, err := EquiDepthBuckets(testDomain, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.3, Seed: 22})
+	_, stats, err := RunHistogramCfg(net, srv, parts, kr, buckets, RunConfig{Workers: 8})
+	if !errors.Is(err, ErrDetected) || !stats.Detected {
+		t.Errorf("parallel histogram missed drop: err=%v stats=%+v", err, stats)
+	}
+}
+
+func TestRunConfigWorkerResolution(t *testing.T) {
+	if got := Serial().workers(100); got != 1 {
+		t.Errorf("Serial workers = %d, want 1", got)
+	}
+	if got := (RunConfig{Workers: 8}).workers(3); got != 3 {
+		t.Errorf("workers capped by items = %d, want 3", got)
+	}
+	if got := (RunConfig{Workers: -1}).workers(0); got != 1 {
+		t.Errorf("degenerate workers = %d, want 1", got)
+	}
+	if got := Parallel().workers(1 << 20); got < 1 {
+		t.Errorf("Parallel workers = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,79 @@
+package gquery
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunConfig parameterizes the execution engine of the Part III protocols.
+// The protocols' token-side phases (decrypt, fold, discard fakes) are
+// embarrassingly parallel across chunks — [TNP14] explicitly models the
+// participant tokens as an independent worker fleet behind the SSI — so the
+// engine fans them out over a bounded pool. Workers = 1 is the faithful
+// paper baseline (one token at a time); Workers = 0 uses every core
+// (runtime.GOMAXPROCS). Results and RunStats are identical either way:
+// partials are merged in deterministic chunk order.
+type RunConfig struct {
+	// Workers bounds the simulated token fleet: 0 means GOMAXPROCS,
+	// 1 means serial.
+	Workers int
+}
+
+// Serial is the paper-faithful single-token configuration.
+func Serial() RunConfig { return RunConfig{Workers: 1} }
+
+// Parallel uses the full machine as the token fleet.
+func Parallel() RunConfig { return RunConfig{Workers: 0} }
+
+// workers resolves the effective pool size for n independent work items.
+func (c RunConfig) workers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachChunk runs f(0..n-1) across the configured token fleet. With one
+// worker it runs inline in index order — byte-identical to the historical
+// serial loop. Callers collect per-index outputs and fold them in index
+// order, so the fan-out never changes observable results.
+func (c RunConfig) forEachChunk(n int, f func(i int)) {
+	w := c.workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkOutcome is the per-chunk output of a worker token, folded into
+// RunStats and the partial list in deterministic chunk order.
+type chunkOutcome struct {
+	partial     partialAgg
+	macFailures int
+	err         error
+}

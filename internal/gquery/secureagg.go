@@ -16,8 +16,18 @@ import (
 //	             checksum, detecting drops, duplicates and forgeries.
 //
 // The SSI observes only ciphertexts: every payload is distinct, so no
-// grouping information leaks.
+// grouping information leaks. This entry point runs the paper-faithful
+// serial schedule (one worker token at a time); RunSecureAggCfg fans the
+// aggregation phase out over a token fleet.
 func RunSecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring, chunkSize int) (Result, RunStats, error) {
+	return RunSecureAggCfg(net, srv, parts, kr, chunkSize, Serial())
+}
+
+// RunSecureAggCfg is RunSecureAgg with an explicit execution config. The
+// aggregation phase runs over cfg.Workers concurrent tokens; partials are
+// merged in chunk order, so Result and RunStats are identical to the
+// serial run on the same inputs.
+func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring, chunkSize int, cfg RunConfig) (Result, RunStats, error) {
 	var stats RunStats
 	if len(parts) == 0 {
 		return nil, stats, ErrNoParticipants
@@ -51,44 +61,59 @@ func RunSecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr 
 	}
 	stats.Chunks = len(chunks)
 
-	// Aggregation phase: tokens process chunks.
-	var partials []partialAgg
-	for i, chunk := range chunks {
+	// Aggregation phase: the token fleet processes chunks independently.
+	outs := make([]chunkOutcome, len(chunks))
+	cfg.forEachChunk(len(chunks), func(i int) {
 		worker := parts[i%len(parts)].ID
-		partial := partialAgg{Aggs: map[string]GroupAgg{}}
-		for _, env := range chunk {
+		out := chunkOutcome{partial: partialAgg{Aggs: map[string]GroupAgg{}}}
+		for _, env := range chunks[i] {
 			net.Send(netsim.Envelope{From: "ssi", To: worker, Kind: "chunk", Payload: env.Payload})
 			ct, err := open(kr, env.Payload)
 			if err != nil {
-				stats.MACFailures++
-				stats.Detected = true
+				out.macFailures++
 				continue
 			}
 			pt, err := kr.NonDet.Decrypt(ct)
 			if err != nil {
-				stats.MACFailures++
-				stats.Detected = true
+				out.macFailures++
 				continue
 			}
 			t, err := decodeTuplePlain(pt)
 			if err != nil {
-				return nil, stats, err
+				out.err = err
+				outs[i] = out
+				return
 			}
-			partial.IDSum += t.ID
-			partial.Count++
+			out.partial.IDSum += t.ID
+			out.partial.Count++
 			if !t.Fake {
-				partial.Aggs[t.Group] = partial.Aggs[t.Group].Fold(t.Value)
+				out.partial.Aggs[t.Group] = out.partial.Aggs[t.Group].Fold(t.Value)
 			}
 		}
-		stats.WorkerCalls++
 		// Worker → SSI → final token: the partial rides sealed and
 		// non-deterministically encrypted.
-		pct, err := kr.NonDet.Encrypt(encodePartial(partial))
+		pct, err := kr.NonDet.Encrypt(encodePartial(out.partial))
 		if err != nil {
-			return nil, stats, err
+			out.err = err
+			outs[i] = out
+			return
 		}
 		net.Send(netsim.Envelope{From: worker, To: "ssi", Kind: "partial", Payload: seal(kr, pct)})
-		partials = append(partials, partial)
+		outs[i] = out
+	})
+
+	// Fold worker outcomes deterministically, in chunk order.
+	var partials []partialAgg
+	for _, out := range outs {
+		stats.MACFailures += out.macFailures
+		if out.macFailures > 0 {
+			stats.Detected = true
+		}
+		if out.err != nil {
+			return nil, stats, out.err
+		}
+		stats.WorkerCalls++
+		partials = append(partials, out.partial)
 	}
 
 	// Merge phase at the final token.

@@ -10,6 +10,7 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,63 +55,93 @@ func (s Stats) String() string {
 	return fmt.Sprintf("msgs=%d bytes=%d", s.Messages, s.Bytes)
 }
 
-// Network counts and exposes traffic. It is safe for concurrent use.
+// counter is one lock-free Messages/Bytes pair.
+type counter struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+func (c *counter) add(payload int) {
+	c.messages.Add(1)
+	c.bytes.Add(int64(payload))
+}
+
+func (c *counter) stats() Stats {
+	return Stats{Messages: c.messages.Load(), Bytes: c.bytes.Load()}
+}
+
+// Network counts and exposes traffic. It is safe for concurrent use; the
+// hot path (Send) is lock-free — totals are atomic and per-kind counters
+// are sharded into a concurrent map — so a parallel token fleet does not
+// serialize on the accounting plane. Totals read while sends are in flight
+// are each exact, though Messages and Bytes may be from instants an
+// envelope apart; protocols read stats only at phase barriers, where they
+// are exact.
 type Network struct {
-	mu      sync.Mutex
-	stats   Stats
-	perKind map[string]Stats
-	taps    []func(Envelope)
+	totals  counter
+	perKind sync.Map // string -> *counter
+
+	mu   sync.Mutex // guards tap registration and Reset
+	taps atomic.Pointer[[]func(Envelope)]
 }
 
 // New creates an empty network.
 func New() *Network {
-	return &Network{perKind: map[string]Stats{}}
+	return &Network{}
 }
 
 // Send records one envelope and notifies taps. It returns the envelope so
 // call sites can write `recipient.Handle(net.Send(env))`.
 func (n *Network) Send(e Envelope) Envelope {
-	n.mu.Lock()
-	n.stats.Messages++
-	n.stats.Bytes += int64(len(e.Payload))
-	k := n.perKind[e.Kind]
-	k.Messages++
-	k.Bytes += int64(len(e.Payload))
-	n.perKind[e.Kind] = k
-	taps := n.taps
-	n.mu.Unlock()
-	for _, t := range taps {
-		t(e)
+	n.totals.add(len(e.Payload))
+	c, ok := n.perKind.Load(e.Kind)
+	if !ok {
+		c, _ = n.perKind.LoadOrStore(e.Kind, &counter{})
+	}
+	c.(*counter).add(len(e.Payload))
+	if taps := n.taps.Load(); taps != nil {
+		for _, t := range *taps {
+			t(e)
+		}
 	}
 	return e
 }
 
 // Tap registers an observer called for every envelope (an eavesdropper or
-// a test probe). Taps must not block.
+// a test probe). Taps must not block and must tolerate concurrent calls
+// when a parallel token fleet is sending.
 func (n *Network) Tap(f func(Envelope)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.taps = append(n.taps, f)
+	var taps []func(Envelope)
+	if old := n.taps.Load(); old != nil {
+		taps = append(taps, *old...)
+	}
+	taps = append(taps, f)
+	n.taps.Store(&taps)
 }
 
 // Stats returns total traffic.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return n.totals.stats()
 }
 
 // KindStats returns traffic for one protocol phase.
 func (n *Network) KindStats(kind string) Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.perKind[kind]
+	if c, ok := n.perKind.Load(kind); ok {
+		return c.(*counter).stats()
+	}
+	return Stats{}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters. Callers must not race Reset with Send.
 func (n *Network) Reset() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.stats = Stats{}
-	n.perKind = map[string]Stats{}
+	n.totals.messages.Store(0)
+	n.totals.bytes.Store(0)
+	n.perKind.Range(func(k, _ any) bool {
+		n.perKind.Delete(k)
+		return true
+	})
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -87,5 +88,64 @@ func TestConcurrentSends(t *testing.T) {
 	wg.Wait()
 	if s := n.Stats(); s.Messages != 1600 || s.Bytes != 1600 {
 		t.Errorf("concurrent stats = %+v", s)
+	}
+}
+
+func TestConcurrentSendsAcrossKinds(t *testing.T) {
+	// Distinct kinds shard onto distinct counters; readers may observe
+	// mid-flight totals without tripping the race detector.
+	n := New()
+	kinds := []string{"tuple", "chunk", "partial", "merge"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		kind := kinds[i%len(kinds)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				n.Send(Envelope{Kind: kind, Payload: []byte{1, 2}})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			n.Stats()
+			n.KindStats("chunk")
+		}
+	}()
+	wg.Wait()
+	<-done
+	var total int64
+	for _, k := range kinds {
+		ks := n.KindStats(k)
+		if ks.Messages != 400 || ks.Bytes != 800 {
+			t.Errorf("kind %s = %+v", k, ks)
+		}
+		total += ks.Messages
+	}
+	if s := n.Stats(); s.Messages != total || s.Messages != 1600 {
+		t.Errorf("total = %+v, per-kind sum = %d", n.Stats(), total)
+	}
+}
+
+func TestConcurrentTappedSends(t *testing.T) {
+	n := New()
+	var observed atomic.Int64
+	n.Tap(func(Envelope) { observed.Add(1) })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				n.Send(Envelope{Kind: "k"})
+			}
+		}()
+	}
+	wg.Wait()
+	if observed.Load() != 800 {
+		t.Errorf("tap observed %d of 800 sends", observed.Load())
 	}
 }

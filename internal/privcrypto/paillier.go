@@ -19,12 +19,15 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"runtime"
+	"sync"
 )
 
 // Errors returned by Paillier operations.
 var (
 	ErrMessageRange = errors.New("privcrypto: message outside [0, N)")
 	ErrBadCipher    = errors.New("privcrypto: ciphertext outside [0, N^2)")
+	ErrBadPrimes    = errors.New("privcrypto: p and q must be distinct primes")
 )
 
 var one = big.NewInt(1)
@@ -35,11 +38,22 @@ type PaillierPublicKey struct {
 	N2 *big.Int // N^2
 }
 
-// PaillierPrivateKey decrypts.
+// PaillierPrivateKey decrypts. Keys built by GeneratePaillier or
+// PaillierFromPrimes retain the prime factorization and decrypt via the
+// Chinese Remainder Theorem (two half-width exponentiations instead of one
+// full-width one, ~4x faster); keys restored without the factors fall back
+// to the textbook L(c^λ)·μ path.
 type PaillierPrivateKey struct {
 	PaillierPublicKey
 	lambda *big.Int // lcm(p-1, q-1)
 	mu     *big.Int // lambda^{-1} mod N
+
+	// CRT precomputation; all nil when the factorization is unknown.
+	p, q     *big.Int
+	pp, qq   *big.Int // p², q²
+	pm1, qm1 *big.Int // p-1, q-1
+	hp, hq   *big.Int // L_p(g^{p-1} mod p²)^{-1} mod p and the q twin
+	pinvq    *big.Int // p^{-1} mod q (Garner recombination)
 }
 
 // GeneratePaillier creates a key pair with an n-bit modulus. bits must be
@@ -60,30 +74,93 @@ func GeneratePaillier(bits int, random io.Reader) (*PaillierPrivateKey, error) {
 		if err != nil {
 			return nil, err
 		}
-		if p.Cmp(q) == 0 {
-			continue
+		sk, err := PaillierFromPrimes(p, q)
+		if errors.Is(err, ErrBadPrimes) {
+			continue // p == q or degenerate inverse: redraw
 		}
-		n := new(big.Int).Mul(p, q)
-		pm1 := new(big.Int).Sub(p, one)
-		qm1 := new(big.Int).Sub(q, one)
-		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
-		lambda := new(big.Int).Mul(pm1, qm1)
-		lambda.Div(lambda, gcd)
-		mu := new(big.Int).ModInverse(lambda, n)
-		if mu == nil {
-			continue
-		}
-		n2 := new(big.Int).Mul(n, n)
-		return &PaillierPrivateKey{
-			PaillierPublicKey: PaillierPublicKey{N: n, N2: n2},
-			lambda:            lambda,
-			mu:                mu,
-		}, nil
+		return sk, err
 	}
+}
+
+// PaillierFromPrimes builds a private key from two distinct primes,
+// precomputing the CRT constants. Equal primes are rejected up front,
+// before any modular-inverse work.
+func PaillierFromPrimes(p, q *big.Int) (*PaillierPrivateKey, error) {
+	if p == nil || q == nil || p.Cmp(q) == 0 {
+		return nil, ErrBadPrimes
+	}
+	n := new(big.Int).Mul(p, q)
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+	lambda := new(big.Int).Mul(pm1, qm1)
+	lambda.Div(lambda, gcd)
+	mu := new(big.Int).ModInverse(lambda, n)
+	if mu == nil {
+		return nil, ErrBadPrimes
+	}
+	n2 := new(big.Int).Mul(n, n)
+	sk := &PaillierPrivateKey{
+		PaillierPublicKey: PaillierPublicKey{N: n, N2: n2},
+		lambda:            lambda,
+		mu:                mu,
+		p:                 p,
+		q:                 q,
+		pp:                new(big.Int).Mul(p, p),
+		qq:                new(big.Int).Mul(q, q),
+		pm1:               pm1,
+		qm1:               qm1,
+	}
+	// hp = L_p(g^{p-1} mod p²)^{-1} mod p with g = N+1; hq likewise.
+	g := new(big.Int).Add(n, one)
+	sk.hp = new(big.Int).ModInverse(lFunc(new(big.Int).Exp(g, pm1, sk.pp), p), p)
+	sk.hq = new(big.Int).ModInverse(lFunc(new(big.Int).Exp(g, qm1, sk.qq), q), q)
+	sk.pinvq = new(big.Int).ModInverse(p, q)
+	if sk.hp == nil || sk.hq == nil || sk.pinvq == nil {
+		return nil, ErrBadPrimes
+	}
+	return sk, nil
+}
+
+// lFunc is Paillier's L(x) = (x-1)/d.
+func lFunc(x, d *big.Int) *big.Int {
+	out := new(big.Int).Sub(x, one)
+	return out.Div(out, d)
 }
 
 // Public returns the public half of the key.
 func (sk *PaillierPrivateKey) Public() *PaillierPublicKey { return &sk.PaillierPublicKey }
+
+// drawRandomizer samples r uniform in (0, N) with gcd(r, N) = 1.
+func (pk *PaillierPublicKey) drawRandomizer(random io.Reader) (*big.Int, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		r, err := rand.Int(random, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// encryptWithRn assembles Enc(m) = (1+mN)·rn mod N² from a precomputed
+// blinding factor rn = r^N mod N². No exponentiation happens here — this is
+// the cheap half of encryption the randomizer pool keeps on the hot path.
+func (pk *PaillierPublicKey) encryptWithRn(m, rn *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+	}
+	c := new(big.Int).Mul(m, pk.N)
+	c.Add(c, one)
+	c.Mod(c, pk.N2)
+	c.Mul(c, rn)
+	c.Mod(c, pk.N2)
+	return c, nil
+}
 
 // Encrypt encrypts m in [0, N) with fresh randomness (the generator is the
 // standard g = N+1, so Enc(m) = (1+mN)·r^N mod N²).
@@ -91,29 +168,11 @@ func (pk *PaillierPublicKey) Encrypt(m *big.Int, random io.Reader) (*big.Int, er
 	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
 		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
 	}
-	if random == nil {
-		random = rand.Reader
+	r, err := pk.drawRandomizer(random)
+	if err != nil {
+		return nil, err
 	}
-	var r *big.Int
-	for {
-		var err error
-		r, err = rand.Int(random, pk.N)
-		if err != nil {
-			return nil, err
-		}
-		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
-			break
-		}
-	}
-	// (1 + m·N) mod N²
-	c := new(big.Int).Mul(m, pk.N)
-	c.Add(c, one)
-	c.Mod(c, pk.N2)
-	// · r^N mod N²
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
-	c.Mul(c, rn)
-	c.Mod(c, pk.N2)
-	return c, nil
+	return pk.encryptWithRn(m, new(big.Int).Exp(r, pk.N, pk.N2))
 }
 
 // EncryptInt64 encrypts a non-negative int64.
@@ -124,8 +183,34 @@ func (pk *PaillierPublicKey) EncryptInt64(m int64, random io.Reader) (*big.Int, 
 	return pk.Encrypt(big.NewInt(m), random)
 }
 
-// Decrypt recovers the plaintext: L(c^λ mod N²)·μ mod N with L(x)=(x-1)/N.
+// Decrypt recovers the plaintext, using the CRT fast path when the key
+// retains its prime factorization and the textbook path otherwise.
 func (sk *PaillierPrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if sk.p == nil {
+		return sk.DecryptTextbook(c)
+	}
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadCipher, c)
+	}
+	// m_p = L_p(c^{p-1} mod p²)·h_p mod p, and the q twin; recombine with
+	// Garner: m = m_p + p·((m_q − m_p)·p⁻¹ mod q).
+	mp := lFunc(new(big.Int).Exp(c, sk.pm1, sk.pp), sk.p)
+	mp.Mul(mp, sk.hp)
+	mp.Mod(mp, sk.p)
+	mq := lFunc(new(big.Int).Exp(c, sk.qm1, sk.qq), sk.q)
+	mq.Mul(mq, sk.hq)
+	mq.Mod(mq, sk.q)
+	t := new(big.Int).Sub(mq, mp)
+	t.Mul(t, sk.pinvq)
+	t.Mod(t, sk.q)
+	t.Mul(t, sk.p)
+	return t.Add(t, mp), nil
+}
+
+// DecryptTextbook recovers the plaintext with the paper's full-width
+// formula L(c^λ mod N²)·μ mod N with L(x)=(x-1)/N — the reference path the
+// CRT optimization is cross-checked against.
+func (sk *PaillierPrivateKey) DecryptTextbook(c *big.Int) (*big.Int, error) {
 	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
 		return nil, fmt.Errorf("%w: %v", ErrBadCipher, c)
 	}
@@ -153,4 +238,206 @@ func (pk *PaillierPublicKey) MulPlain(c *big.Int, k *big.Int) *big.Int {
 // aggregates before they leave a token).
 func (pk *PaillierPublicKey) EncryptZero(random io.Reader) (*big.Int, error) {
 	return pk.Encrypt(big.NewInt(0), random)
+}
+
+// --- randomizer pool --------------------------------------------------------
+
+// RandomizerPool precomputes the blinding factors r^N mod N² that dominate
+// Paillier encryption, so tokens can pay the exponentiation during idle
+// time and keep only a modular multiplication on the hot path. The pool is
+// safe for concurrent use; when drained it transparently computes fresh
+// factors (correctness never depends on pool size).
+type RandomizerPool struct {
+	pk     *PaillierPublicKey
+	random io.Reader
+
+	mu   sync.Mutex
+	pool []*big.Int
+}
+
+// NewRandomizerPool precomputes size blinding factors, fanning the
+// exponentiations across all cores. random may be nil (crypto/rand).
+func (pk *PaillierPublicKey) NewRandomizerPool(size int, random io.Reader) (*RandomizerPool, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("privcrypto: negative pool size %d", size)
+	}
+	rp := &RandomizerPool{pk: pk, random: random}
+	if err := rp.Refill(size); err != nil {
+		return nil, err
+	}
+	return rp, nil
+}
+
+// Refill precomputes n more blinding factors in parallel.
+func (rp *RandomizerPool) Refill(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	// Randomness is drawn serially (io.Readers need not be concurrency
+	// safe); only the heavy r^N mod N² exponentiations run in parallel.
+	rs := make([]*big.Int, n)
+	for i := range rs {
+		r, err := rp.pk.drawRandomizer(rp.random)
+		if err != nil {
+			return err
+		}
+		rs[i] = r
+	}
+	rns := make([]*big.Int, n)
+	parallelFor(n, 0, func(i int) error {
+		rns[i] = new(big.Int).Exp(rs[i], rp.pk.N, rp.pk.N2)
+		return nil
+	})
+	rp.mu.Lock()
+	rp.pool = append(rp.pool, rns...)
+	rp.mu.Unlock()
+	return nil
+}
+
+// Size reports how many precomputed factors remain.
+func (rp *RandomizerPool) Size() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.pool)
+}
+
+// take pops one precomputed factor, or computes a fresh one when drained.
+func (rp *RandomizerPool) take() (*big.Int, error) {
+	rp.mu.Lock()
+	if n := len(rp.pool); n > 0 {
+		rn := rp.pool[n-1]
+		rp.pool = rp.pool[:n-1]
+		rp.mu.Unlock()
+		return rn, nil
+	}
+	rp.mu.Unlock()
+	r, err := rp.pk.drawRandomizer(rp.random)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).Exp(r, rp.pk.N, rp.pk.N2), nil
+}
+
+// Encrypt encrypts m consuming one pooled blinding factor.
+func (rp *RandomizerPool) Encrypt(m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(rp.pk.N) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+	}
+	rn, err := rp.take()
+	if err != nil {
+		return nil, err
+	}
+	return rp.pk.encryptWithRn(m, rn)
+}
+
+// EncryptInt64 encrypts a non-negative int64 via the pool.
+func (rp *RandomizerPool) EncryptInt64(m int64) (*big.Int, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrMessageRange, m)
+	}
+	return rp.Encrypt(big.NewInt(m))
+}
+
+// --- batch helpers ----------------------------------------------------------
+
+// parallelFor runs f(0..n-1) over a bounded worker pool and returns the
+// lowest-index error. workers <= 0 means GOMAXPROCS; workers == 1 runs
+// inline (the faithful serial baseline).
+func parallelFor(n, workers int, f func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncryptBatch encrypts a slice, drawing randomness serially and fanning
+// the r^N exponentiations across workers (<= 0 means GOMAXPROCS).
+func (pk *PaillierPublicKey) EncryptBatch(ms []*big.Int, random io.Reader, workers int) ([]*big.Int, error) {
+	rs := make([]*big.Int, len(ms))
+	for i, m := range ms {
+		if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+			return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+		}
+		r, err := pk.drawRandomizer(random)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+	out := make([]*big.Int, len(ms))
+	err := parallelFor(len(ms), workers, func(i int) error {
+		c, err := pk.encryptWithRn(ms[i], new(big.Int).Exp(rs[i], pk.N, pk.N2))
+		if err != nil {
+			return err
+		}
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncryptBatchInt64 is EncryptBatch over int64 measures.
+func (pk *PaillierPublicKey) EncryptBatchInt64(ms []int64, random io.Reader, workers int) ([]*big.Int, error) {
+	bs := make([]*big.Int, len(ms))
+	for i, m := range ms {
+		if m < 0 {
+			return nil, fmt.Errorf("%w: %d", ErrMessageRange, m)
+		}
+		bs[i] = big.NewInt(m)
+	}
+	return pk.EncryptBatch(bs, random, workers)
+}
+
+// DecryptBatch decrypts a slice across workers (<= 0 means GOMAXPROCS),
+// taking the CRT fast path per element when available.
+func (sk *PaillierPrivateKey) DecryptBatch(cs []*big.Int, workers int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cs))
+	err := parallelFor(len(cs), workers, func(i int) error {
+		m, err := sk.Decrypt(cs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -63,8 +63,14 @@ func SecureSum(values []int64, modulus int64, rng *rand.Rand) (int64, *Trace, er
 	if rng == nil {
 		rng = rand.New(rand.NewSource(rand.Int63()))
 	}
+	return secureSumWithMask(values, modulus, rng.Int63n(modulus))
+}
+
+// secureSumWithMask runs the ring with a pre-drawn initiator mask — the
+// hook that lets segment rings run on parallel workers while all
+// randomness is still drawn serially from one rng.
+func secureSumWithMask(values []int64, modulus, r int64) (int64, *Trace, error) {
 	tr := &Trace{}
-	r := rng.Int63n(modulus)
 	running := (values[0] + r) % modulus
 	// P0 → P1 → … → Pn-1 → P0.
 	for i := 1; i < len(values); i++ {
@@ -81,6 +87,15 @@ func SecureSum(values []int64, modulus int64, rng *rand.Rand) (int64, *Trace, er
 // protocol runs once per segment with a different party order, so a
 // coalition of neighbours learns only masked segments. Returns the total.
 func SecureSumSegmented(values []int64, modulus int64, segments int, rng *rand.Rand) (int64, *Trace, error) {
+	return SecureSumSegmentedCfg(values, modulus, segments, rng, 1)
+}
+
+// SecureSumSegmentedCfg is SecureSumSegmented over a bounded worker pool
+// (workers <= 0 means GOMAXPROCS): the per-segment rings are independent
+// once shares and masks are drawn, so they run concurrently. All
+// randomness is drawn serially from rng first, so the result and trace are
+// identical to the serial run with the same seed.
+func SecureSumSegmentedCfg(values []int64, modulus int64, segments int, rng *rand.Rand, workers int) (int64, *Trace, error) {
 	if segments < 1 {
 		return 0, nil, fmt.Errorf("smc: segments must be >= 1, got %d", segments)
 	}
@@ -111,21 +126,31 @@ func SecureSumSegmented(values []int64, modulus int64, segments int, rng *rand.R
 		}
 		shares[segments-1][i] = rest
 	}
-	total := int64(0)
-	agg := &Trace{}
-	for s := 0; s < segments; s++ {
+	// Draw every segment mask serially, then fan the independent rings out.
+	masks := make([]int64, segments)
+	for s := range masks {
+		masks[s] = rng.Int63n(modulus)
+	}
+	sums := make([]int64, segments)
+	traces := make([]*Trace, segments)
+	errs := make([]error, segments)
+	parallelRange(segments, workers, func(s int) {
 		// Rotate the ring start per segment.
 		rot := make([]int64, n)
 		for i := range rot {
 			rot[i] = shares[s][(i+s)%n]
 		}
-		sum, tr, err := SecureSum(rot, modulus, rng)
-		if err != nil {
-			return 0, nil, err
+		sums[s], traces[s], errs[s] = secureSumWithMask(rot, modulus, masks[s])
+	})
+	total := int64(0)
+	agg := &Trace{}
+	for s := 0; s < segments; s++ {
+		if errs[s] != nil {
+			return 0, nil, errs[s]
 		}
-		agg.Messages += tr.Messages
-		agg.Bytes += tr.Bytes
-		total = (total + sum) % modulus
+		agg.Messages += traces[s].Messages
+		agg.Bytes += traces[s].Bytes
+		total = (total + sums[s]) % modulus
 	}
 	return total, agg, nil
 }

@@ -1,6 +1,8 @@
 package ssi
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"pds/internal/netsim"
@@ -147,5 +149,47 @@ func TestModeString(t *testing.T) {
 	}
 	if Mode(9).String() != "Mode(9)" {
 		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestConcurrentReceiveAndObserve(t *testing.T) {
+	// A parallel token fleet uploads and reports group observations
+	// concurrently; the server's counters must stay exact and race-free.
+	s := New(netsim.New(), HonestButCurious, Behavior{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Receive(env(fmt.Sprintf("payload-%d-%d", i, j)))
+				s.ObserveGroup([]byte{byte(i % 4)})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.Pending()
+			s.Observations()
+		}
+	}()
+	wg.Wait()
+	<-done
+	obs := s.Observations()
+	if obs.Envelopes != 800 || obs.DistinctPayloads != 800 {
+		t.Errorf("observations = %+v", obs)
+	}
+	total := 0
+	for _, f := range obs.GroupFrequencies {
+		total += f
+	}
+	if total != 800 {
+		t.Errorf("group frequency total = %d, want 800", total)
+	}
+	if s.Pending() != 800 {
+		t.Errorf("pending = %d, want 800", s.Pending())
 	}
 }
