@@ -1,11 +1,13 @@
 # Standard gates for the pds repro. `make ci` is what a checkin must pass:
-# vet, the full test suite, and the race detector over the concurrent
-# substrate (netsim/ssi accounting plane, gquery token fleet, privcrypto
-# batch helpers, smc parallel protocols).
+# vet, the full (shuffled) test suite, the race detector over the
+# concurrent substrate (netsim fault/reliability plane, ssi accounting,
+# gquery token fleet, privcrypto batch helpers, smc parallel protocols),
+# short fuzz passes over the wire-facing decoders, and a coverage summary.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race bench-part3
+.PHONY: ci build test vet race fuzz cover bench-part3
 
 build:
 	$(GO) build ./...
@@ -14,12 +16,21 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/gquery/... ./internal/netsim/... ./internal/ssi/... ./internal/privcrypto/... ./internal/smc/...
 
-ci: vet build test race
+# Short, bounded fuzz passes: the Paillier CRT/textbook cross-check and
+# the reliability-frame decoder (canonical re-encode property).
+fuzz:
+	$(GO) test ./internal/privcrypto -run '^$$' -fuzz '^FuzzPaillierDecryptCRTvsTextbook$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=$(FUZZTIME)
+
+cover:
+	$(GO) test -cover ./...
+
+ci: vet build test race fuzz cover
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCLIScriptRoundTrip drives the -c mode end to end: create a PDS,
+// index a document, and search it back.
+func TestCLIScriptRoundTrip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{"-c", "new alice; doc asthma:2 inhaler:1; search asthma"},
+		strings.NewReader(""), &stdout, &stderr, false)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	out := stdout.String()
+	for _, marker := range []string{"alice", "doc 0 indexed"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestCLIStdinScript drives the scripted-stdin mode, including quit.
+func TestCLIStdinScript(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("new bob\ndoc flu:3\nsearch flu\nquit\nnever-reached\n")
+	if code := cliMain(nil, in, &stdout, &stderr, false); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "bob") || !strings.Contains(out, "doc 0 indexed") {
+		t.Errorf("round trip output incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "never-reached") || strings.Contains(stderr.String(), "never-reached") {
+		t.Error("quit did not stop the session")
+	}
+}
+
+// TestCLICommandErrorsKeepSessionAlive: a bad command reports to stderr
+// and the session continues — exit code stays 0.
+func TestCLICommandErrorsKeepSessionAlive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{"-c", "definitely-not-a-command; new carol"},
+		strings.NewReader(""), &stdout, &stderr, false)
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "error:") {
+		t.Errorf("bad command not reported: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "carol") {
+		t.Errorf("session did not continue past the error:\n%s", stdout.String())
+	}
+}
+
+// TestCLIBadFlagExitsNonzero pins the flag-parse failure path.
+func TestCLIBadFlagExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := cliMain([]string{"-no-such-flag"}, strings.NewReader(""), &stdout, &stderr, false); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("flag error not reported to stderr")
+	}
+}

@@ -15,13 +15,26 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 )
 
 func main() {
-	script := flag.String("c", "", "semicolon-separated commands to run and exit")
-	flag.Parse()
+	os.Exit(cliMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr, isTerminal()))
+}
+
+// cliMain is the testable entry point: it parses args, drives the shell
+// against the given streams, and returns the process exit code. Command
+// errors print to stderr without aborting the session (matching the
+// historical behaviour); only flag-parse failures exit nonzero.
+func cliMain(args []string, stdin io.Reader, stdout, stderr io.Writer, interactive bool) int {
+	fs := flag.NewFlagSet("pdsctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	script := fs.String("c", "", "semicolon-separated commands to run and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	sh := newShell()
 	run := func(line string) bool {
@@ -30,11 +43,11 @@ func main() {
 			return false
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			fmt.Fprintf(stderr, "error: %v\n", err)
 			return true
 		}
 		if out != "" {
-			fmt.Println(out)
+			fmt.Fprintln(stdout, out)
 		}
 		return true
 	}
@@ -45,17 +58,16 @@ func main() {
 				break
 			}
 		}
-		return
+		return 0
 	}
 
-	interactive := isTerminal()
 	if interactive {
-		fmt.Println("pdsctl — type `help` for commands")
+		fmt.Fprintln(stdout, "pdsctl — type `help` for commands")
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	for {
 		if interactive {
-			fmt.Print("pds> ")
+			fmt.Fprint(stdout, "pds> ")
 		}
 		if !sc.Scan() {
 			break
@@ -64,6 +76,7 @@ func main() {
 			break
 		}
 	}
+	return 0
 }
 
 // isTerminal reports whether stdin looks interactive (best effort without

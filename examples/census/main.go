@@ -8,7 +8,9 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	"pds/internal/anon"
@@ -19,24 +21,31 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run executes the example end to end, writing the walkthrough to w.
+func Run(w io.Writer) error {
 	const nPDS = 300
 	parts := workload.Participants(nPDS, 3, 42)
 	truth := gquery.PlainResult(parts)
 	kr, err := gquery.NewKeyring()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("population: %d PDSs, %d tuples, %d diagnosis groups\n",
+	fmt.Fprintf(w, "population: %d PDSs, %d tuples, %d diagnosis groups\n",
 		nPDS, truth.TotalCount(), len(truth))
-	fmt.Println("\nquery: SELECT diagnosis, SUM(cost), COUNT(*) FROM all-PDSs GROUP BY diagnosis")
+	fmt.Fprintln(w, "\nquery: SELECT diagnosis, SUM(cost), COUNT(*) FROM all-PDSs GROUP BY diagnosis")
 
-	run := func(name string, f func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error)) {
+	run := func(name string, f func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error)) error {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
 		res, stats, err := f(net, srv)
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %v", name, err)
 		}
 		exact := len(res) == len(truth)
 		for g, a := range truth {
@@ -45,33 +54,40 @@ func main() {
 			}
 		}
 		o := srv.Observations()
-		fmt.Printf("%-18s msgs=%-6d bytes=%-8d workers=%-4d exact=%-5v ssi-groups=%d\n",
+		fmt.Fprintf(w, "%-18s msgs=%-6d bytes=%-8d workers=%-4d exact=%-5v ssi-groups=%d\n",
 			name, stats.Net.Messages, stats.Net.Bytes, stats.WorkerCalls, exact, len(o.GroupFrequencies))
+		return nil
 	}
 
-	fmt.Println("\n-- protocols (honest-but-curious SSI) --")
-	run("secure-agg", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
+	fmt.Fprintln(w, "\n-- protocols (honest-but-curious SSI) --")
+	if err := run("secure-agg", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
 		return gquery.RunSecureAgg(net, srv, parts, kr, 64)
-	})
-	run("noise-white", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
+	}); err != nil {
+		return err
+	}
+	if err := run("noise-white", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
 		return gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1.0, gquery.WhiteNoise, 1)
-	})
-	run("noise-controlled", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
+	}); err != nil {
+		return err
+	}
+	if err := run("noise-controlled", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
 		return gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1.0, gquery.ControlledNoise, 1)
-	})
+	}); err != nil {
+		return err
+	}
 
 	// Histogram: approximate per-group answers, minimal leakage.
-	fmt.Println("\n-- histogram protocol accuracy vs bucket count --")
+	fmt.Fprintln(w, "\n-- histogram protocol accuracy vs bucket count --")
 	for _, b := range []int{1, 2, 4, 8} {
 		buckets, err := gquery.EquiDepthBuckets(workload.Diagnoses, nil, b)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
 		br, _, err := gquery.RunHistogram(net, srv, parts, kr, buckets)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		est := gquery.EstimateGroups(br, buckets)
 		var errSum, total float64
@@ -83,12 +99,12 @@ func main() {
 			errSum += d
 			total += float64(a.Sum)
 		}
-		fmt.Printf("  B=%d: relative SUM error %.1f%%, SSI sees %d bucket ids\n",
+		fmt.Fprintf(w, "  B=%d: relative SUM error %.1f%%, SSI sees %d bucket ids\n",
 			len(buckets), 100*errSum/total, len(srv.Observations().GroupFrequencies))
 	}
 
 	// k-anonymous publication via tokens.
-	fmt.Println("\n-- k-anonymous publication ([ANP13]-style) --")
+	fmt.Fprintln(w, "\n-- k-anonymous publication ([ANP13]-style) --")
 	ds := workload.Census(600, 7)
 	contributors := make([]anon.Contributor, 60)
 	for i := range contributors {
@@ -104,15 +120,15 @@ func main() {
 		a, _, err := anon.PublishViaTokens(net, srv, contributors, make([]byte, 32),
 			ds.QINames, ds.Hierarchies, anon.Params{K: k})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sizes := anon.ClassSizes(a.Records)
-		fmt.Printf("  k=%-3d levels=%v info-loss=%.2f classes=%d smallest-class=%d\n",
+		fmt.Fprintf(w, "  k=%-3d levels=%v info-loss=%.2f classes=%d smallest-class=%d\n",
 			k, a.Levels, a.InfoLoss, a.Classes, sizes[0])
 	}
 
 	// Covert adversary deterrence.
-	fmt.Println("\n-- weakly-malicious SSI --")
+	fmt.Fprintln(w, "\n-- weakly-malicious SSI --")
 	for _, b := range []ssi.Behavior{
 		{DropRate: 0.05, Seed: 9},
 		{DuplicateRate: 0.05, Seed: 10},
@@ -125,12 +141,12 @@ func main() {
 		if errors.Is(err, gquery.ErrDetected) && stats.Detected {
 			verdict = "DETECTED"
 		}
-		fmt.Printf("  drop=%.0f%% dup=%.0f%% forge=%.0f%% → %s (mac failures: %d)\n",
+		fmt.Fprintf(w, "  drop=%.0f%% dup=%.0f%% forge=%.0f%% → %s (mac failures: %d)\n",
 			b.DropRate*100, b.DuplicateRate*100, b.ForgeRate*100, verdict, stats.MACFailures)
 	}
 
 	// The result itself, for the curious.
-	fmt.Println("\n-- final aggregate (ground truth) --")
+	fmt.Fprintln(w, "\n-- final aggregate (ground truth) --")
 	groups := make([]string, 0, len(truth))
 	for g := range truth {
 		groups = append(groups, g)
@@ -138,6 +154,7 @@ func main() {
 	sort.Strings(groups)
 	for _, g := range groups {
 		a := truth[g]
-		fmt.Printf("  %-13s count=%-5d sum=%-7d avg=%.1f\n", g, a.Count, a.Sum, a.Avg())
+		fmt.Fprintf(w, "  %-13s count=%-5d sum=%-7d avg=%.1f\n", g, a.Count, a.Sum, a.Avg())
 	}
+	return nil
 }

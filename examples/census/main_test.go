@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must complete without
+// error and emit its characteristic markers.
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, marker := range runMarkers {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q", marker)
+		}
+	}
+}
+
+// runMarkers are stable output lines the smoke test checks for.
+var runMarkers = []string{"population: 300 PDSs", "secure-agg", "DETECTED", "-- final aggregate (ground truth) --"}

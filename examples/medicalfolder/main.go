@@ -7,13 +7,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pds/internal/acl"
 	"pds/internal/folder"
 )
 
 func main() {
+	if err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run executes the example end to end, writing the walkthrough to w.
+func Run(w io.Writer) error {
 	// The cast: one patient token, three practitioners, a central
 	// archive, and the smart badge that travels between them.
 	patient := folder.NewReplica("patient")
@@ -30,14 +39,14 @@ func main() {
 
 	write := func(r *folder.Replica, role, id, category, body string) {
 		if !guard.Check(acl.Request{Subject: r.Owner, Role: role, Collection: category, Action: acl.Write, Purpose: "care"}) {
-			fmt.Printf("  %s: write to %s DENIED\n", r.Owner, category)
+			fmt.Fprintf(w, "  %s: write to %s DENIED\n", r.Owner, category)
 			return
 		}
 		r.Put(id, category, []byte(body))
-		fmt.Printf("  %s wrote %s (%s)\n", r.Owner, id, category)
+		fmt.Fprintf(w, "  %s wrote %s (%s)\n", r.Owner, id, category)
 	}
 
-	fmt.Println("-- home visits (disconnected) --")
+	fmt.Fprintln(w, "-- home visits (disconnected) --")
 	write(doctor, "medical", "rx-1", "medical/prescriptions", "amoxicillin 500mg")
 	write(nurse, "medical", "note-1", "medical/notes", "blood pressure 12/8")
 	write(social, "social", "aid-1", "social/aids", "home help twice a week")
@@ -45,44 +54,45 @@ func main() {
 
 	// The badge tours the sites: each touch is a physical tap, both
 	// directions, no network.
-	fmt.Println("\n-- badge tour #1 --")
+	fmt.Fprintln(w, "\n-- badge tour #1 --")
 	for _, r := range []*folder.Replica{doctor, nurse, social, patient} {
 		toR, toB := badge.Touch(r)
-		fmt.Printf("  touch %-14s → replica:%d badge:%d\n", r.Owner, toR, toB)
+		fmt.Fprintf(w, "  touch %-14s → replica:%d badge:%d\n", r.Owner, toR, toB)
 	}
-	fmt.Println("\n-- badge tour #2 (propagating back) --")
+	fmt.Fprintln(w, "\n-- badge tour #2 (propagating back) --")
 	for _, r := range []*folder.Replica{doctor, nurse, social, patient} {
 		badge.Touch(r)
 	}
-	fmt.Printf("converged=%v, every replica holds %d documents after %d badge hops\n",
+	fmt.Fprintf(w, "converged=%v, every replica holds %d documents after %d badge hops\n",
 		folder.Converged(patient, doctor, nurse, social), patient.Len(), badge.Hops)
 
 	// The central server archives the patient's folder — ciphertext only.
-	fmt.Println("\n-- encrypted central archive --")
+	fmt.Fprintln(w, "\n-- encrypted central archive --")
 	key := make([]byte, 32)
 	copy(key, "patient-master-key-material-0000")
 	vault, err := folder.NewVault(key)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	archive := folder.NewArchive()
 	n, err := vault.Backup(patient, archive)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	blob, _ := archive.RawBlob("rx-1")
-	fmt.Printf("archived %d documents; server-side view of rx-1: %d opaque bytes\n", n, len(blob))
+	fmt.Fprintf(w, "archived %d documents; server-side view of rx-1: %d opaque bytes\n", n, len(blob))
 
 	// Token lost: the patient restores everything on a fresh token.
-	fmt.Println("\n-- disaster recovery --")
+	fmt.Fprintln(w, "\n-- disaster recovery --")
 	fresh := folder.NewReplica("patient")
 	restored, err := vault.RestoreAll(archive, fresh)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("restored %d documents; identical to the lost folder: %v\n",
+	fmt.Fprintf(w, "restored %d documents; identical to the lost folder: %v\n",
 		restored, folder.Converged(patient, fresh))
 
-	fmt.Printf("\naudit: %d access decisions recorded, chain intact: %v\n",
+	fmt.Fprintf(w, "\naudit: %d access decisions recorded, chain intact: %v\n",
 		guard.Audit.Len(), acl.Verify(guard.Audit.Entries()) == -1)
+	return nil
 }

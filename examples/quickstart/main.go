@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pds/internal/acl"
 	"pds/internal/core"
@@ -16,20 +18,27 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run executes the example end to end, writing the walkthrough to w.
+func Run(w io.Writer) error {
 	// Alice provisions a secure token — a smartcard-class MCU with 64 KB
 	// of RAM in front of 1 GiB of NAND flash.
 	alice, err := core.New("alice", core.Config{Profile: mcu.Smartcard()})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer alice.Close()
-	fmt.Printf("PDS %q on %s: RAM=%d KiB, flash=%d MiB\n",
+	fmt.Fprintf(w, "PDS %q on %s: RAM=%d KiB, flash=%d MiB\n",
 		alice.ID, alice.Device.Profile.Name,
 		alice.Device.Profile.RAM>>10,
 		alice.Device.Profile.Geometry.TotalBytes()>>20)
 
 	// 1. Documents: the embedded search engine indexes mails and notes.
-	fmt.Println("\n-- indexing documents --")
+	fmt.Fprintln(w, "\n-- indexing documents --")
 	docs := []map[string]int{
 		{"asthma": 2, "inhaler": 1, "prescription": 1},
 		{"holiday": 3, "photos": 2},
@@ -38,22 +47,22 @@ func main() {
 	}
 	for _, d := range docs {
 		if _, err := alice.AddDocument(d); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	fmt.Printf("indexed %d documents in %d flash pages\n", alice.Docs.NumDocs(), alice.Docs.Pages())
+	fmt.Fprintf(w, "indexed %d documents in %d flash pages\n", alice.Docs.NumDocs(), alice.Docs.Pages())
 
 	// 2. Relational data: bills in the embedded database, with a
 	// Bloom-summarized selection index maintained on insert.
-	fmt.Println("\n-- loading relational data --")
+	fmt.Fprintln(w, "\n-- loading relational data --")
 	if _, err := alice.DB.CreateTable("bills", embdb.NewSchema(
 		embdb.Column{Name: "vendor", Type: embdb.Str},
 		embdb.Column{Name: "amount", Type: embdb.Int},
 	)); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := alice.DB.CreateIndex("bills", "vendor"); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for i := 0; i < 500; i++ {
 		vendor := "electricity"
@@ -63,47 +72,48 @@ func main() {
 		if _, err := alice.DB.Insert("bills", embdb.Row{
 			embdb.StrVal(vendor), embdb.IntVal(int64(20 + i%60)),
 		}); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	ix, _ := alice.DB.Index("bills", "vendor")
 	rids, st, err := ix.Lookup(embdb.StrVal("telecom"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("summary scan found %d telecom bills reading %d of %d key pages (%d summary pages)\n",
+	fmt.Fprintf(w, "summary scan found %d telecom bills reading %d of %d key pages (%d summary pages)\n",
 		len(rids), st.KeyPagesRead, ix.KeysPages(), st.SummaryPages)
 
 	// 3. Owner search runs in pipeline within the RAM budget.
-	fmt.Println("\n-- full-text search --")
+	fmt.Fprintln(w, "\n-- full-text search --")
 	res, err := alice.Docs.Search([]string{"asthma", "doctor"}, 3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, r := range res {
-		fmt.Printf("doc %d scored %.3f\n", r.Doc, r.Score)
+		fmt.Fprintf(w, "doc %d scored %.3f\n", r.Doc, r.Score)
 	}
-	fmt.Printf("RAM high water during queries: %d bytes of %d budget\n",
+	fmt.Fprintf(w, "RAM high water during queries: %d bytes of %d budget\n",
 		alice.Device.RAM.HighWater(), alice.Device.RAM.Budget())
 
 	// 4. Privacy policy: Alice's doctor may search medical documents for
 	// care; nobody else sees anything, and every decision is audited.
-	fmt.Println("\n-- access control --")
+	fmt.Fprintln(w, "\n-- access control --")
 	alice.Guard.Policy.Add(acl.Rule{
 		Role: "doctor", Collection: "docs",
 		Action: acl.ActionP(acl.Read), Purpose: "care", Allow: true,
 	})
 	if _, err := alice.SearchAs("dr-bob", "doctor", "care", []string{"asthma"}, 5); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("dr-bob (doctor, purpose=care): allowed")
+	fmt.Fprintln(w, "dr-bob (doctor, purpose=care): allowed")
 	if _, err := alice.SearchAs("adnet", "advertiser", "marketing", []string{"asthma"}, 5); err != nil {
-		fmt.Println("adnet (advertiser, purpose=marketing): denied")
+		fmt.Fprintln(w, "adnet (advertiser, purpose=marketing): denied")
 	}
 	entries := alice.Guard.Audit.Entries()
-	fmt.Printf("audit chain: %d entries, intact=%v\n", len(entries), acl.Verify(entries) == -1)
+	fmt.Fprintf(w, "audit chain: %d entries, intact=%v\n", len(entries), acl.Verify(entries) == -1)
 
 	// 5. The flash never saw a random write.
 	s := alice.Device.Chip.Stats()
-	fmt.Printf("\nflash I/O so far: %s (log-only: zero erases during normal operation)\n", s)
+	fmt.Fprintf(w, "\nflash I/O so far: %s (log-only: zero erases during normal operation)\n", s)
+	return nil
 }

@@ -8,8 +8,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"pds/internal/privcrypto"
 	"pds/internal/smc"
@@ -17,9 +19,16 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run executes the example end to end, writing the walkthrough to w.
+func Run(w io.Writer) error {
 	const homes = 40
 	readings := workload.MeterReadings(homes, 2026)
-	fmt.Printf("neighbourhood: %d homes, %d quarter-hour slots each\n", homes, len(readings[0]))
+	fmt.Fprintf(w, "neighbourhood: %d homes, %d quarter-hour slots each\n", homes, len(readings[0]))
 
 	// Ground truth for verification.
 	truth := make([]int64, 96)
@@ -30,7 +39,7 @@ func main() {
 	}
 
 	// 1. Secure-sum ring among meter tokens, one run per slot.
-	fmt.Println("\n-- secure sum ring (no server at all) --")
+	fmt.Fprintln(w, "\n-- secure sum ring (no server at all) --")
 	const modulus = int64(1) << 40
 	rng := rand.New(rand.NewSource(1))
 	var msgs int
@@ -43,7 +52,7 @@ func main() {
 		}
 		sum, tr, err := smc.SecureSum(slot, modulus, rng)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ringTotals[q] = sum
 		msgs += tr.Messages
@@ -51,14 +60,14 @@ func main() {
 			ok = false
 		}
 	}
-	fmt.Printf("96 slots aggregated with %d ring messages; matches truth: %v\n", msgs, ok)
+	fmt.Fprintf(w, "96 slots aggregated with %d ring messages; matches truth: %v\n", msgs, ok)
 
 	// 2. Paillier collection: homes encrypt, the untrusted concentrator
 	// multiplies ciphertexts, only the grid authority can decrypt totals.
-	fmt.Println("\n-- homomorphic collection (untrusted concentrator) --")
+	fmt.Fprintln(w, "\n-- homomorphic collection (untrusted concentrator) --")
 	sk, err := privcrypto.GeneratePaillier(512, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pk := sk.Public()
 	okHE := true
@@ -66,18 +75,18 @@ func main() {
 	for _, q := range []int{8, 30, 50, 80} { // sample slots to keep runtime short
 		acc, err := pk.EncryptZero(nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for h := 0; h < homes; h++ {
 			c, err := pk.EncryptInt64(readings[h][q], nil)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			acc = pk.AddCipher(acc, c) // the concentrator's only operation
 		}
 		total, err := sk.Decrypt(acc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if total.Int64() != truth[q] {
 			okHE = false
@@ -85,13 +94,13 @@ func main() {
 		if total.Int64() > peakLoad {
 			peakLoad, peakSlot = total.Int64(), q
 		}
-		fmt.Printf("  slot %2d: total %6d Wh (concentrator saw only ciphertexts)\n", q, total.Int64())
+		fmt.Fprintf(w, "  slot %2d: total %6d Wh (concentrator saw only ciphertexts)\n", q, total.Int64())
 	}
-	fmt.Printf("homomorphic totals match truth: %v; sampled peak at slot %d (%d Wh)\n", okHE, peakSlot, peakLoad)
+	fmt.Fprintf(w, "homomorphic totals match truth: %v; sampled peak at slot %d (%d Wh)\n", okHE, peakSlot, peakLoad)
 
 	// 3. What the naive design leaks: per-home morning/evening activity,
 	// i.e. occupancy patterns.
-	fmt.Println("\n-- what plaintext collection would have leaked --")
+	fmt.Fprintln(w, "\n-- what plaintext collection would have leaked --")
 	awayCount := 0
 	for h := 0; h < homes; h++ {
 		var morning, midday int64
@@ -105,8 +114,8 @@ func main() {
 			awayCount++
 		}
 	}
-	fmt.Printf("a curious operator could flag %d of %d homes as 'out during the day'\n", awayCount, homes)
-	fmt.Println("with secure aggregation, it learns one number per slot for the whole neighbourhood.")
+	fmt.Fprintf(w, "a curious operator could flag %d of %d homes as 'out during the day'\n", awayCount, homes)
+	fmt.Fprintln(w, "with secure aggregation, it learns one number per slot for the whole neighbourhood.")
 
 	// 4. Morning vs evening peaks from the private aggregate.
 	var morning, evening int64
@@ -116,6 +125,7 @@ func main() {
 	for q := 72; q <= 88; q++ {
 		evening += ringTotals[q]
 	}
-	fmt.Printf("\naggregate insight (all the operator needs): evening/morning load ratio = %.2f\n",
+	fmt.Fprintf(w, "\naggregate insight (all the operator needs): evening/morning load ratio = %.2f\n",
 		float64(evening)/float64(morning))
+	return nil
 }

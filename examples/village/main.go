@@ -8,8 +8,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"pds/internal/anon"
 	"pds/internal/folkis"
@@ -17,6 +19,13 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run executes the example end to end, writing the walkthrough to w.
+func Run(w io.Writer) error {
 	const (
 		villagers = 40
 		villages  = 12
@@ -27,14 +36,14 @@ func main() {
 		BufferCap: 32, Routing: folkis.Epidemic, Seed: 2026,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	healthWorker := "n0"
 	workerKey := make([]byte, 32)
 	copy(workerKey, "district-health-worker-key-00000")
 	cipher, err := privcrypto.NewNonDetCipher(workerKey)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Every villager sends an encrypted vaccination record toward the
@@ -57,15 +66,15 @@ func main() {
 		plain := []byte(fmt.Sprintf("%s|%s|%s", r.QI[0], r.QI[1], r.Sensitive))
 		ct, err := cipher.Encrypt(plain)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		id, err := sim.Send(fmt.Sprintf("n%d", i), healthWorker, ct)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sent = append(sent, record{msgID: id, rec: r})
 	}
-	fmt.Printf("%d villagers queued encrypted records for %s across %d villages\n",
+	fmt.Fprintf(w, "%d villagers queued encrypted records for %s across %d villages\n",
 		len(sent), healthWorker, villages)
 
 	// Life goes on: people move between villages; tokens gossip.
@@ -73,9 +82,9 @@ func main() {
 	st := sim.Stats()
 	p50, _ := sim.Percentile(50)
 	p95, _ := sim.Percentile(95)
-	fmt.Printf("after %d days: delivery %.0f%%, median latency %d days, p95 %d days\n",
+	fmt.Fprintf(w, "after %d days: delivery %.0f%%, median latency %d days, p95 %d days\n",
 		steps, 100*st.DeliveryRatio(), p50, p95)
-	fmt.Printf("network cost: %d encounters, %d message copies, %d buffer drops — zero infrastructure\n",
+	fmt.Fprintf(w, "network cost: %d encounters, %d message copies, %d buffer drops — zero infrastructure\n",
 		st.Encounters, st.Copies, st.Drops)
 
 	// The health worker assembles the delivered records.
@@ -91,14 +100,14 @@ func main() {
 			ds.Records = append(ds.Records, s.rec)
 		}
 	}
-	fmt.Printf("\nhealth worker received %d of %d records\n", len(ds.Records), len(sent))
+	fmt.Fprintf(w, "\nhealth worker received %d of %d records\n", len(ds.Records), len(sent))
 
 	// Publication: the district report must be k-anonymous.
 	a, err := anon.Anonymize(ds, anon.Params{K: 4, MaxSuppression: 0.05})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("published report: %d records in %d classes (k=4 verified: %v), info loss %.2f\n",
+	fmt.Fprintf(w, "published report: %d records in %d classes (k=4 verified: %v), info loss %.2f\n",
 		len(a.Records), a.Classes, anon.VerifyKAnonymous(a.Records, 4), a.InfoLoss)
 
 	// Vaccination coverage from the anonymous table.
@@ -106,8 +115,9 @@ func main() {
 	for _, r := range a.Records {
 		counts[r.Sensitive]++
 	}
-	fmt.Println("\nvaccination coverage (from the anonymous report):")
+	fmt.Fprintln(w, "\nvaccination coverage (from the anonymous report):")
 	for _, v := range vaccines {
-		fmt.Printf("  %-8s %d\n", v, counts[v])
+		fmt.Fprintf(w, "  %-8s %d\n", v, counts[v])
 	}
+	return nil
 }

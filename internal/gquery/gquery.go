@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"pds/internal/netsim"
 	"pds/internal/privcrypto"
@@ -150,6 +151,14 @@ type RunStats struct {
 	MACFailures int
 	// FakeTuples counts injected noise tuples (noise protocol only).
 	FakeTuples int
+
+	// Reliability-layer cost, nonzero only when RunConfig.Faults armed the
+	// fault plane: the price the token fleet paid to complete exactly
+	// despite the injected faults.
+	Retransmits  int           // extra wire attempts beyond the first
+	AckMessages  int           // acknowledgement frames received
+	TagFailures  int           // frames rejected by the transport integrity tag
+	RetryBackoff time.Duration // simulated time spent backing off between retries
 }
 
 // Protocol errors.
@@ -158,6 +167,33 @@ var (
 	ErrNoParticipants = errors.New("gquery: no participants")
 	ErrBadChunkSize   = errors.New("gquery: chunk size must be >= 1")
 )
+
+// DetectionError is the typed abort of a run whose token-side integrity
+// checks caught SSI misbehaviour: the protocols either complete with the
+// exact answer or fail with one of these — never a silently wrong result.
+// errors.Is(err, ErrDetected) matches it; errors.As extracts the detail.
+type DetectionError struct {
+	Protocol    string // "secure-agg", "noise" or "histogram"
+	Reason      string // "mac-failure" or "checksum-mismatch"
+	MACFailures int
+}
+
+func (e *DetectionError) Error() string {
+	return fmt.Sprintf("gquery: %s protocol detected SSI misbehaviour (%s, %d MAC failures)",
+		e.Protocol, e.Reason, e.MACFailures)
+}
+
+// Is makes errors.Is(err, ErrDetected) match.
+func (e *DetectionError) Is(target error) bool { return target == ErrDetected }
+
+// detectionError builds the typed detection abort for a finished run.
+func detectionError(protocol string, stats RunStats) *DetectionError {
+	reason := "checksum-mismatch"
+	if stats.MACFailures > 0 {
+		reason = "mac-failure"
+	}
+	return &DetectionError{Protocol: protocol, Reason: reason, MACFailures: stats.MACFailures}
+}
 
 // --- wire encodings -------------------------------------------------------
 

@@ -107,6 +107,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	if len(buckets) == 0 {
 		return nil, stats, fmt.Errorf("gquery: no buckets")
 	}
+	tp := newTransport(net, cfg)
 
 	// Collection: bucket id rides in clear, everything else encrypted.
 	for _, p := range parts {
@@ -127,11 +128,15 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 			body := make([]byte, 2+len(vct))
 			binary.LittleEndian.PutUint16(body[:2], uint16(bkt))
 			copy(body[2:], vct)
-			srv.Receive(net.Send(netsim.Envelope{
+			if err := tp.send(netsim.Envelope{
 				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, body),
-			}))
+			}, srv.Receive); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
+	// Phase barrier: delayed uploads surface before partitioning.
+	tp.barrier(srv.Receive)
 
 	chunks, err := srv.Partition(1 << 30)
 	if err != nil {
@@ -171,27 +176,37 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		w := parts[i%len(parts)].ID
 		out := &outs[i]
 		for _, env := range byBucket[ids[i]] {
-			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "bucket-chunk", Payload: env.Payload})
-			body, err := open(kr, env.Payload)
-			if err != nil {
-				out.macFailures++
-				continue
+			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "bucket-chunk", Payload: env.Payload},
+				func(e netsim.Envelope) {
+					body, err := open(kr, e.Payload)
+					if err != nil {
+						out.macFailures++
+						return
+					}
+					pt, err := kr.NonDet.Decrypt(body[2:])
+					if err != nil {
+						out.macFailures++
+						return
+					}
+					t, err := decodeTuplePlain(pt)
+					if err != nil {
+						out.err = err
+						return
+					}
+					out.idSum += t.ID
+					out.count++
+					out.agg = out.agg.Fold(t.Value)
+				})
+			if sendErr != nil && out.err == nil {
+				out.err = sendErr
 			}
-			pt, err := kr.NonDet.Decrypt(body[2:])
-			if err != nil {
-				out.macFailures++
-				continue
-			}
-			t, err := decodeTuplePlain(pt)
-			if err != nil {
-				out.err = err
+			if out.err != nil {
 				return
 			}
-			out.idSum += t.ID
-			out.count++
-			out.agg = out.agg.Fold(t.Value)
 		}
-		net.Send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: make([]byte, 48)})
+		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: make([]byte, 48)}, nil); err != nil && out.err == nil {
+			out.err = err
+		}
 	})
 	res := BucketResult{}
 	var idSum uint64
@@ -212,13 +227,15 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		}
 	}
 
+	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, nil)
 	if idSum != wantID || count != wantCount {
 		stats.Detected = true
 	}
+	tp.fold(&stats)
 	stats.Net = net.Stats()
 	if stats.Detected {
-		return res, stats, ErrDetected
+		return res, stats, detectionError("histogram", stats)
 	}
 	return res, stats, nil
 }

@@ -67,6 +67,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	}
 	rng := rand.New(rand.NewSource(seed))
 	fakesPer := map[string]int{}
+	tp := newTransport(net, cfg)
 
 	// Collection: true tuples first, then fakes, under one id sequence.
 	for _, p := range parts {
@@ -91,10 +92,9 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			binary.LittleEndian.PutUint16(payload[:2], uint16(len(gct)))
 			copy(payload[2:], gct)
 			copy(payload[2+len(gct):], vct)
-			srv.Receive(net.Send(netsim.Envelope{
+			return tp.send(netsim.Envelope{
 				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, payload),
-			}))
-			return nil
+			}, srv.Receive)
 		}
 		held := map[string]bool{}
 		for _, t := range p.Tuples {
@@ -121,6 +121,9 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			}
 		}
 	}
+
+	// Phase barrier: delayed uploads surface before grouping.
+	tp.barrier(srv.Receive)
 
 	// The SSI groups by equal deterministic ciphertext — its whole
 	// advantage, and its whole leakage.
@@ -179,8 +182,11 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	runToken := func(out *chunkOutcome, w string, envs []netsim.Envelope, sealPartial bool) {
 		out.partial = partialAgg{Aggs: map[string]GroupAgg{}}
 		for _, env := range envs {
-			net.Send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload})
-			processEnv(out, env)
+			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload},
+				func(e netsim.Envelope) { processEnv(out, e) })
+			if sendErr != nil && out.err == nil {
+				out.err = sendErr
+			}
 			if out.err != nil {
 				return
 			}
@@ -193,7 +199,9 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			out.err = err
 			return
 		}
-		net.Send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: seal(kr, pct)})
+		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: seal(kr, pct)}, nil); err != nil {
+			out.err = err
+		}
 	}
 	outs := make([]chunkOutcome, len(keys))
 	cfg.forEachChunk(len(keys), func(i int) {
@@ -225,14 +233,16 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	}
 
 	// Merge + integrity check.
+	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, fakesPer)
 	res, detected := mergePartials(partials, wantID, wantCount)
 	if detected {
 		stats.Detected = true
 	}
+	tp.fold(&stats)
 	stats.Net = net.Stats()
 	if stats.Detected {
-		return res, stats, ErrDetected
+		return res, stats, detectionError("noise", stats)
 	}
 	return res, stats, nil
 }

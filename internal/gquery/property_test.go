@@ -1,0 +1,263 @@
+package gquery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pds/internal/netsim"
+	"pds/internal/ssi"
+)
+
+// The property battery: every Part III protocol, serial and parallel,
+// under clean and faulty wires and under a weakly-malicious SSI, must
+// either complete with a result identical to the fault-free serial
+// baseline or abort with a typed detection/retry error — never return a
+// silently wrong answer.
+
+// fpResult canonicalizes a Result for cross-run comparison.
+func fpResult(res Result) string {
+	keys := make([]string, 0, len(res))
+	for g := range res {
+		keys = append(keys, g)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, g := range keys {
+		fmt.Fprintf(&sb, "%s=%+v;", g, res[g])
+	}
+	return sb.String()
+}
+
+// fpBuckets canonicalizes a BucketResult.
+func fpBuckets(res BucketResult) string {
+	ids := make([]int, 0, len(res))
+	for b := range res {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, b := range ids {
+		fmt.Fprintf(&sb, "%d=%+v;", b, res[b])
+	}
+	return sb.String()
+}
+
+// protoRunner is one protocol under test: run returns a canonical
+// fingerprint of the result.
+type protoRunner struct {
+	name string
+	run  func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error)
+}
+
+func batteryRunners(t *testing.T) []protoRunner {
+	t.Helper()
+	kr := mustKeyring(t)
+	buckets, err := EquiDepthBuckets(testDomain, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []protoRunner{
+		{"secure-agg", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
+			net, srv := freshRun(t, mode, b)
+			res, stats, err := RunSecureAggCfg(net, srv, parts, kr, 7, cfg)
+			return fpResult(res), stats, err
+		}},
+		{"noise-none", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
+			net, srv := freshRun(t, mode, b)
+			res, stats, err := RunNoiseCfg(net, srv, parts, kr, testDomain, 0, NoNoise, 91, cfg)
+			return fpResult(res), stats, err
+		}},
+		{"noise-white", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
+			net, srv := freshRun(t, mode, b)
+			res, stats, err := RunNoiseCfg(net, srv, parts, kr, testDomain, 1, WhiteNoise, 92, cfg)
+			return fpResult(res), stats, err
+		}},
+		{"noise-ctrl", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
+			net, srv := freshRun(t, mode, b)
+			res, stats, err := RunNoiseCfg(net, srv, parts, kr, testDomain, 1, ControlledNoise, 93, cfg)
+			return fpResult(res), stats, err
+		}},
+		{"histogram", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
+			net, srv := freshRun(t, mode, b)
+			res, stats, err := RunHistogramCfg(net, srv, parts, kr, buckets, cfg)
+			return fpBuckets(res), stats, err
+		}},
+	}
+}
+
+// batteryPlans are the wire conditions of the battery, clean included.
+func batteryPlans() []struct {
+	name string
+	plan *netsim.FaultPlan
+} {
+	return []struct {
+		name string
+		plan *netsim.FaultPlan
+	}{
+		{"clean", nil},
+		{"drop20", &netsim.FaultPlan{Seed: 101, Default: netsim.FaultSpec{Drop: 0.2}}},
+		{"dup20", &netsim.FaultPlan{Seed: 102, Default: netsim.FaultSpec{Duplicate: 0.2}}},
+		{"mixed", &netsim.FaultPlan{Seed: 103, Default: netsim.FaultSpec{Drop: 0.1, Duplicate: 0.1, Delay: 0.05, Reorder: 0.05}}},
+	}
+}
+
+// TestPropertyFaultToleranceExact: with an honest SSI, every protocol ×
+// execution mode × fault plan completes and matches the fault-free serial
+// baseline exactly — the reliability layer recovers losses, absorbs
+// duplicates and flushes delays without ever changing the answer. The
+// true-data protocols must additionally match the plaintext reference.
+func TestPropertyFaultToleranceExact(t *testing.T) {
+	runners := batteryRunners(t)
+	for _, wl := range []int64{31, 32} {
+		parts := makeParts(12, 5, testDomain, wl)
+		plainFP := fpResult(PlainResult(parts))
+		for _, r := range runners {
+			baseline, baseStats, err := r.run(t, parts, ssi.HonestButCurious, ssi.Behavior{}, Serial())
+			if err != nil {
+				t.Fatalf("%s baseline (workload %d): %v", r.name, wl, err)
+			}
+			if baseStats.Retransmits != 0 || baseStats.AckMessages != 0 || baseStats.RetryBackoff != 0 {
+				t.Fatalf("%s clean baseline accrued reliability cost: %+v", r.name, baseStats)
+			}
+			if r.name == "secure-agg" || strings.HasPrefix(r.name, "noise") {
+				if baseline != plainFP {
+					t.Fatalf("%s baseline != plaintext reference", r.name)
+				}
+			}
+			for _, workers := range []int{1, 8} {
+				for _, fp := range batteryPlans() {
+					name := fmt.Sprintf("%s/wl%d/w%d/%s", r.name, wl, workers, fp.name)
+					t.Run(name, func(t *testing.T) {
+						cfg := RunConfig{Workers: workers, Faults: fp.plan, MaxRetries: 25}
+						got, stats, err := r.run(t, parts, ssi.HonestButCurious, ssi.Behavior{}, cfg)
+						if err != nil {
+							t.Fatalf("honest run failed: %v (stats %+v)", err, stats)
+						}
+						if got != baseline {
+							t.Fatalf("result diverges from fault-free serial baseline\n got %s\nwant %s", got, baseline)
+						}
+						if fp.plan != nil && stats.Net.Messages <= baseStats.Net.Messages {
+							t.Errorf("faulty wire cost %d messages, want > clean %d (frames + acks)",
+								stats.Net.Messages, baseStats.Net.Messages)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyMaliciousNeverWrong: under a weakly-malicious SSI (with and
+// without wire faults on top), a run either completes with the exact
+// baseline result or aborts with an error matching ErrDetected — the
+// covert adversary is never undetected AND effective.
+func TestPropertyMaliciousNeverWrong(t *testing.T) {
+	runners := batteryRunners(t)
+	behaviors := []struct {
+		name string
+		b    ssi.Behavior
+	}{
+		{"drop", ssi.Behavior{DropRate: 0.2, Seed: 201}},
+		{"dup", ssi.Behavior{DuplicateRate: 0.25, Seed: 202}},
+		{"forge", ssi.Behavior{ForgeRate: 0.3, Seed: 203}},
+		{"combined", ssi.Behavior{DropRate: 0.1, DuplicateRate: 0.1, ForgeRate: 0.1, Seed: 204}},
+	}
+	parts := makeParts(12, 5, testDomain, 41)
+	for _, r := range runners {
+		baseline, _, err := r.run(t, parts, ssi.HonestButCurious, ssi.Behavior{}, Serial())
+		if err != nil {
+			t.Fatalf("%s baseline: %v", r.name, err)
+		}
+		for _, bh := range behaviors {
+			for _, workers := range []int{1, 8} {
+				for _, fp := range []struct {
+					name string
+					plan *netsim.FaultPlan
+				}{
+					{"clean-wire", nil},
+					{"faulty-wire", &netsim.FaultPlan{Seed: 105, Default: netsim.FaultSpec{Drop: 0.1, Duplicate: 0.1}}},
+				} {
+					name := fmt.Sprintf("%s/%s/w%d/%s", r.name, bh.name, workers, fp.name)
+					t.Run(name, func(t *testing.T) {
+						cfg := RunConfig{Workers: workers, Faults: fp.plan, MaxRetries: 25}
+						got, _, err := r.run(t, parts, ssi.WeaklyMalicious, bh.b, cfg)
+						switch {
+						case err == nil:
+							if got != baseline {
+								t.Fatalf("undetected misbehaviour changed the result\n got %s\nwant %s", got, baseline)
+							}
+						case errors.Is(err, ErrDetected):
+							var de *DetectionError
+							if !errors.As(err, &de) {
+								t.Fatalf("detection error is not typed: %v", err)
+							}
+							if de.Protocol == "" || de.Reason == "" {
+								t.Fatalf("detection error lacks detail: %+v", de)
+							}
+						default:
+							t.Fatalf("unexpected error class: %v", err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyForgeryYieldsMACDetection: a forging SSI is always caught by
+// the MAC layer, and the abort carries the typed evidence.
+func TestPropertyForgeryYieldsMACDetection(t *testing.T) {
+	parts := makeParts(10, 4, testDomain, 51)
+	for _, r := range batteryRunners(t) {
+		for _, fp := range []*netsim.FaultPlan{nil, {Seed: 106, Default: netsim.FaultSpec{Drop: 0.1}}} {
+			cfg := RunConfig{Workers: 4, Faults: fp, MaxRetries: 25}
+			_, stats, err := r.run(t, parts, ssi.WeaklyMalicious, ssi.Behavior{ForgeRate: 1, Seed: 205}, cfg)
+			if !errors.Is(err, ErrDetected) {
+				t.Fatalf("%s: total forgery not detected: %v", r.name, err)
+			}
+			var de *DetectionError
+			if !errors.As(err, &de) {
+				t.Fatalf("%s: detection not typed: %v", r.name, err)
+			}
+			if de.Reason != "mac-failure" || de.MACFailures == 0 || stats.MACFailures != de.MACFailures {
+				t.Errorf("%s: detection detail wrong: %+v (stats MACFailures=%d)", r.name, de, stats.MACFailures)
+			}
+		}
+	}
+}
+
+// TestPropertyRetryCostSurfaced: degraded-mode runs report their
+// retransmission cost in RunStats.
+func TestPropertyRetryCostSurfaced(t *testing.T) {
+	parts := makeParts(12, 5, testDomain, 61)
+	kr := mustKeyring(t)
+	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+	plan := &netsim.FaultPlan{Seed: 107, Default: netsim.FaultSpec{Drop: 0.2}}
+	_, stats, err := RunSecureAggCfg(net, srv, parts, kr, 7, RunConfig{Workers: 1, Faults: plan, MaxRetries: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retransmits == 0 || stats.AckMessages == 0 || stats.RetryBackoff == 0 {
+		t.Errorf("20%% drop left no reliability footprint: %+v", stats)
+	}
+}
+
+// TestDetectionErrorContract pins the typed-error API.
+func TestDetectionErrorContract(t *testing.T) {
+	de := detectionError("secure-agg", RunStats{MACFailures: 3})
+	if de.Reason != "mac-failure" || de.MACFailures != 3 {
+		t.Errorf("mac detection detail = %+v", de)
+	}
+	if !errors.Is(de, ErrDetected) {
+		t.Error("DetectionError does not match ErrDetected")
+	}
+	if !strings.Contains(de.Error(), "secure-agg") {
+		t.Errorf("Error() lacks protocol: %q", de.Error())
+	}
+	if d2 := detectionError("noise", RunStats{}); d2.Reason != "checksum-mismatch" {
+		t.Errorf("checksum detection detail = %+v", d2)
+	}
+}

@@ -3,6 +3,9 @@ package gquery
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"pds/internal/netsim"
 )
 
 // RunConfig parameterizes the execution engine of the Part III protocols.
@@ -17,6 +20,19 @@ type RunConfig struct {
 	// Workers bounds the simulated token fleet: 0 means GOMAXPROCS,
 	// 1 means serial.
 	Workers int
+
+	// Faults, when non-nil, arms the netsim fault plane with this seeded
+	// schedule and routes every protocol leg over reliable ARQ links
+	// (sequence numbers, integrity tags, ack/retry with backoff). Nil — the
+	// default — keeps the historical direct wire: byte-identical costs to
+	// the pre-reliability engine.
+	Faults *netsim.FaultPlan
+	// MaxRetries bounds retransmissions per frame when Faults is set;
+	// <= 0 selects netsim.DefaultMaxRetries.
+	MaxRetries int
+	// Backoff is the base simulated retransmission wait when Faults is
+	// set, doubling per retry; <= 0 selects netsim.DefaultBackoff.
+	Backoff time.Duration
 }
 
 // Serial is the paper-faithful single-token configuration.

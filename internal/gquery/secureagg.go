@@ -35,6 +35,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	if chunkSize < 1 {
 		return nil, stats, ErrBadChunkSize
 	}
+	tp := newTransport(net, cfg)
 
 	// Collection phase.
 	for _, p := range parts {
@@ -48,11 +49,15 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 			if err != nil {
 				return nil, stats, err
 			}
-			srv.Receive(net.Send(netsim.Envelope{
+			if err := tp.send(netsim.Envelope{
 				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, ct),
-			}))
+			}, srv.Receive); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
+	// Phase barrier: delayed uploads surface before partitioning.
+	tp.barrier(srv.Receive)
 
 	// Partition phase (where a weakly-malicious SSI misbehaves).
 	chunks, err := srv.Partition(chunkSize)
@@ -67,27 +72,35 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		worker := parts[i%len(parts)].ID
 		out := chunkOutcome{partial: partialAgg{Aggs: map[string]GroupAgg{}}}
 		for _, env := range chunks[i] {
-			net.Send(netsim.Envelope{From: "ssi", To: worker, Kind: "chunk", Payload: env.Payload})
-			ct, err := open(kr, env.Payload)
-			if err != nil {
-				out.macFailures++
-				continue
+			sendErr := tp.send(netsim.Envelope{From: "ssi", To: worker, Kind: "chunk", Payload: env.Payload},
+				func(e netsim.Envelope) {
+					ct, err := open(kr, e.Payload)
+					if err != nil {
+						out.macFailures++
+						return
+					}
+					pt, err := kr.NonDet.Decrypt(ct)
+					if err != nil {
+						out.macFailures++
+						return
+					}
+					t, err := decodeTuplePlain(pt)
+					if err != nil {
+						out.err = err
+						return
+					}
+					out.partial.IDSum += t.ID
+					out.partial.Count++
+					if !t.Fake {
+						out.partial.Aggs[t.Group] = out.partial.Aggs[t.Group].Fold(t.Value)
+					}
+				})
+			if sendErr != nil && out.err == nil {
+				out.err = sendErr
 			}
-			pt, err := kr.NonDet.Decrypt(ct)
-			if err != nil {
-				out.macFailures++
-				continue
-			}
-			t, err := decodeTuplePlain(pt)
-			if err != nil {
-				out.err = err
+			if out.err != nil {
 				outs[i] = out
 				return
-			}
-			out.partial.IDSum += t.ID
-			out.partial.Count++
-			if !t.Fake {
-				out.partial.Aggs[t.Group] = out.partial.Aggs[t.Group].Fold(t.Value)
 			}
 		}
 		// Worker → SSI → final token: the partial rides sealed and
@@ -98,7 +111,9 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 			outs[i] = out
 			return
 		}
-		net.Send(netsim.Envelope{From: worker, To: "ssi", Kind: "partial", Payload: seal(kr, pct)})
+		if err := tp.send(netsim.Envelope{From: worker, To: "ssi", Kind: "partial", Payload: seal(kr, pct)}, nil); err != nil {
+			out.err = err
+		}
 		outs[i] = out
 	})
 
@@ -119,16 +134,20 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	// Merge phase at the final token.
 	finalTo := parts[0].ID
 	for range partials {
-		net.Send(netsim.Envelope{From: "ssi", To: finalTo, Kind: "merge", Payload: nil})
+		if err := tp.send(netsim.Envelope{From: "ssi", To: finalTo, Kind: "merge", Payload: nil}, nil); err != nil {
+			return nil, stats, err
+		}
 	}
+	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, nil)
 	res, detected := mergePartials(partials, wantID, wantCount)
 	if detected {
 		stats.Detected = true
 	}
+	tp.fold(&stats)
 	stats.Net = net.Stats()
 	if stats.Detected {
-		return res, stats, ErrDetected
+		return res, stats, detectionError("secure-agg", stats)
 	}
 	return res, stats, nil
 }

@@ -1,0 +1,91 @@
+package gquery
+
+import (
+	"strings"
+	"sync"
+
+	"pds/internal/netsim"
+)
+
+// transport routes protocol envelopes over the simulated wire. With no
+// fault plan it is the historical direct path — net.Send for cost
+// accounting, synchronous delivery — so clean runs stay byte-identical to
+// the pre-reliability engine. With a plan it arms the network's fault
+// plane and moves every leg through per-kind reliable ARQ links, whose
+// cost is folded into RunStats at the end of the run.
+type transport struct {
+	net *netsim.Network
+	rel netsim.Reliability
+	on  bool
+
+	mu    sync.Mutex
+	links map[string]*netsim.Link
+}
+
+func newTransport(net *netsim.Network, cfg RunConfig) *transport {
+	tp := &transport{net: net, links: map[string]*netsim.Link{}}
+	if cfg.Faults != nil {
+		tp.on = true
+		tp.rel = netsim.Reliability{MaxRetries: cfg.MaxRetries, Backoff: cfg.Backoff}
+		net.SetFaults(netsim.NewFaultPlane(*cfg.Faults))
+	}
+	return tp
+}
+
+// link returns the reliable link carrying one envelope kind, creating it
+// on first use. Per-kind links keep sequence spaces disjoint, mirroring
+// the per-kind fault schedules.
+func (tp *transport) link(kind string) *netsim.Link {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	l, ok := tp.links[kind]
+	if !ok {
+		l = netsim.NewLink(tp.net, tp.rel)
+		tp.links[kind] = l
+	}
+	return l
+}
+
+// send moves one envelope; rcv (optional) observes the delivered copy
+// exactly once. On the direct path it never fails; on the reliable path
+// it returns the link's typed *netsim.RetryError when the retry budget is
+// exhausted.
+func (tp *transport) send(e netsim.Envelope, rcv func(netsim.Envelope)) error {
+	if !tp.on {
+		out := tp.net.Send(e)
+		if rcv != nil {
+			rcv(out)
+		}
+		return nil
+	}
+	return tp.link(e.Kind).Transfer(e, rcv)
+}
+
+// barrier is a protocol phase boundary: delayed envelopes surface here, in
+// the plane's seeded order. Data frames are deduplicated against their
+// link (a delayed copy whose retransmission already arrived is absorbed)
+// and fresh ones handed to rcv; stray ack frames are discarded.
+func (tp *transport) barrier(rcv func(netsim.Envelope)) {
+	if !tp.on {
+		return
+	}
+	tp.net.FlushFaults(func(e netsim.Envelope) {
+		if strings.HasSuffix(e.Kind, "/ack") {
+			return
+		}
+		tp.link(e.Kind).Accept(e, rcv)
+	})
+}
+
+// fold accumulates the reliability cost of every link into stats.
+func (tp *transport) fold(stats *RunStats) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	for _, l := range tp.links {
+		rs := l.Stats()
+		stats.Retransmits += rs.Retransmits
+		stats.AckMessages += rs.Acks
+		stats.TagFailures += rs.TagFailures
+		stats.RetryBackoff += rs.Backoff
+	}
+}

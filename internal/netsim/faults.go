@@ -1,0 +1,188 @@
+// Deterministic fault injection for the simulated wire. The tutorial's
+// Part III protocols must survive an unreliable transport (and a weakly
+// malicious SSI); this plane lets tests and benchmarks subject every
+// envelope kind to seeded drop/duplicate/delay/reorder schedules that are
+// fully reproducible: a fault decision is a pure function of the seed and
+// the envelope's content, so the same schedule replays identically no
+// matter how a parallel token fleet interleaves its sends.
+package netsim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// FaultSpec gives the per-envelope fault probabilities for one envelope
+// kind. The probabilities are disjoint (drop wins over duplicate, and so
+// on); their sum must not exceed 1.
+type FaultSpec struct {
+	Drop      float64 // the envelope vanishes on the wire
+	Duplicate float64 // the envelope arrives twice, back to back
+	Delay     float64 // the envelope is withheld until the next Flush (phase barrier)
+	Reorder   float64 // the envelope swaps places with the next one of its kind
+}
+
+// Total returns the combined fault probability.
+func (s FaultSpec) Total() float64 { return s.Drop + s.Duplicate + s.Delay + s.Reorder }
+
+// FaultPlan is a seeded, per-kind fault schedule. A zero plan is a clean
+// wire; kinds without an explicit entry use Default.
+type FaultPlan struct {
+	Seed    int64
+	Default FaultSpec
+	PerKind map[string]FaultSpec
+}
+
+func (p FaultPlan) spec(kind string) FaultSpec {
+	if s, ok := p.PerKind[kind]; ok {
+		return s
+	}
+	return p.Default
+}
+
+// FaultStats counts the faults a plane injected.
+type FaultStats struct {
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Reordered  int64
+}
+
+// Total returns the number of injected faults.
+func (s FaultStats) Total() int64 { return s.Dropped + s.Duplicated + s.Delayed + s.Reordered }
+
+// HashUniform maps a seed plus length-prefixed byte fields to a uniform
+// float64 in [0,1) through SHA-256 — the deterministic randomness source
+// shared by the fault plane and the weakly-malicious SSI, chosen over a
+// stateful PRNG so decisions do not depend on evaluation order.
+func HashUniform(seed int64, fields ...[]byte) float64 {
+	h := sha256.New()
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(seed))
+	h.Write(b8[:])
+	for _, f := range fields {
+		binary.LittleEndian.PutUint64(b8[:], uint64(len(f)))
+		h.Write(b8[:])
+		h.Write(f)
+	}
+	sum := h.Sum(nil)
+	return float64(binary.LittleEndian.Uint64(sum[:8])>>11) / float64(1<<53)
+}
+
+// fault outcomes, in interval order.
+const (
+	faultNone = iota
+	faultDrop
+	faultDuplicate
+	faultDelay
+	faultReorder
+)
+
+// FaultPlane applies a FaultPlan to envelopes routed through
+// Network.Deliver. Identical envelopes draw identical decisions (the draw
+// hashes kind, endpoints and payload); the reliability layer's frames
+// embed a sequence and attempt number, so every retransmission draws
+// fresh.
+type FaultPlane struct {
+	plan FaultPlan
+
+	mu    sync.Mutex
+	held  []Envelope           // delayed until the next Flush
+	swap  map[string]*Envelope // reordered: released after the next same-kind transmit
+	stats FaultStats
+}
+
+// NewFaultPlane builds a plane for the plan.
+func NewFaultPlane(plan FaultPlan) *FaultPlane {
+	return &FaultPlane{plan: plan, swap: map[string]*Envelope{}}
+}
+
+// Plan returns the schedule the plane applies.
+func (fp *FaultPlane) Plan() FaultPlan { return fp.plan }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (fp *FaultPlane) Stats() FaultStats {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.stats
+}
+
+// decide draws the (deterministic) fault outcome for one envelope.
+func (fp *FaultPlane) decide(e Envelope) int {
+	s := fp.plan.spec(e.Kind)
+	if s.Total() <= 0 {
+		return faultNone
+	}
+	u := HashUniform(fp.plan.Seed, []byte("netsim-fault"), []byte(e.Kind), []byte(e.From), []byte(e.To), e.Payload)
+	switch {
+	case u < s.Drop:
+		return faultDrop
+	case u < s.Drop+s.Duplicate:
+		return faultDuplicate
+	case u < s.Drop+s.Duplicate+s.Delay:
+		return faultDelay
+	case u < s.Total():
+		return faultReorder
+	default:
+		return faultNone
+	}
+}
+
+// transmit applies the plan to one envelope and returns the copies that
+// arrive now. A pending reordered envelope of the same kind is released
+// after the current one — the two swap places on the wire.
+func (fp *FaultPlane) transmit(e Envelope) []Envelope {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	var out []Envelope
+	reordered := false
+	switch fp.decide(e) {
+	case faultDrop:
+		fp.stats.Dropped++
+	case faultDuplicate:
+		fp.stats.Duplicated++
+		out = append(out, e, e)
+	case faultDelay:
+		fp.stats.Delayed++
+		fp.held = append(fp.held, e)
+	case faultReorder:
+		fp.stats.Reordered++
+		reordered = true
+	default:
+		out = append(out, e)
+	}
+	if prev, ok := fp.swap[e.Kind]; ok {
+		out = append(out, *prev)
+		delete(fp.swap, e.Kind)
+	}
+	if reordered {
+		cp := e
+		fp.swap[e.Kind] = &cp
+	}
+	return out
+}
+
+// Flush releases every withheld envelope (delayed ones and reorder slots
+// that never saw a successor) in a seeded content-hash order — late AND
+// shuffled, the worst legal schedule. rcv runs outside the plane's lock,
+// so it may route envelopes back through the network.
+func (fp *FaultPlane) Flush(rcv func(Envelope)) {
+	fp.mu.Lock()
+	pending := fp.held
+	fp.held = nil
+	for k, e := range fp.swap {
+		pending = append(pending, *e)
+		delete(fp.swap, k)
+	}
+	sort.SliceStable(pending, func(i, j int) bool {
+		ui := HashUniform(fp.plan.Seed, []byte("netsim-flush"), []byte(pending[i].Kind), pending[i].Payload)
+		uj := HashUniform(fp.plan.Seed, []byte("netsim-flush"), []byte(pending[j].Kind), pending[j].Payload)
+		return ui < uj
+	})
+	fp.mu.Unlock()
+	for _, e := range pending {
+		rcv(e)
+	}
+}

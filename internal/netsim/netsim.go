@@ -70,6 +70,12 @@ func (c *counter) stats() Stats {
 	return Stats{Messages: c.messages.Load(), Bytes: c.bytes.Load()}
 }
 
+// netState is one accounting epoch: all counters between two Resets.
+type netState struct {
+	totals  counter
+	perKind sync.Map // string -> *counter
+}
+
 // Network counts and exposes traffic. It is safe for concurrent use; the
 // hot path (Send) is lock-free — totals are atomic and per-kind counters
 // are sharded into a concurrent map — so a parallel token fleet does not
@@ -77,26 +83,34 @@ func (c *counter) stats() Stats {
 // are each exact, though Messages and Bytes may be from instants an
 // envelope apart; protocols read stats only at phase barriers, where they
 // are exact.
+//
+// An optional FaultPlane (SetFaults) injects deterministic drop, duplicate,
+// delay and reorder faults into envelopes routed through Deliver.
 type Network struct {
-	totals  counter
-	perKind sync.Map // string -> *counter
+	st     atomic.Pointer[netState]
+	faults atomic.Pointer[FaultPlane]
 
-	mu   sync.Mutex // guards tap registration and Reset
+	mu   sync.Mutex // guards tap registration
 	taps atomic.Pointer[[]func(Envelope)]
 }
 
 // New creates an empty network.
 func New() *Network {
-	return &Network{}
+	n := &Network{}
+	n.st.Store(&netState{})
+	return n
 }
 
 // Send records one envelope and notifies taps. It returns the envelope so
-// call sites can write `recipient.Handle(net.Send(env))`.
+// call sites can write `recipient.Handle(net.Send(env))`. Send is pure
+// accounting: the fault plane applies only to envelopes routed through
+// Deliver, where dropping or duplicating can actually take effect.
 func (n *Network) Send(e Envelope) Envelope {
-	n.totals.add(len(e.Payload))
-	c, ok := n.perKind.Load(e.Kind)
+	st := n.st.Load()
+	st.totals.add(len(e.Payload))
+	c, ok := st.perKind.Load(e.Kind)
 	if !ok {
-		c, _ = n.perKind.LoadOrStore(e.Kind, &counter{})
+		c, _ = st.perKind.LoadOrStore(e.Kind, &counter{})
 	}
 	c.(*counter).add(len(e.Payload))
 	if taps := n.taps.Load(); taps != nil {
@@ -105,6 +119,42 @@ func (n *Network) Send(e Envelope) Envelope {
 		}
 	}
 	return e
+}
+
+// Deliver counts the envelope like Send and then hands it to the fault
+// plane: rcv is invoked once per copy that arrives now — zero times for a
+// dropped or withheld envelope, twice for a duplicated one, and possibly
+// for an earlier withheld envelope of the same kind the plane releases.
+// Without a fault plane it is exactly Send followed by rcv(e).
+func (n *Network) Deliver(e Envelope, rcv func(Envelope)) {
+	n.Send(e)
+	fp := n.faults.Load()
+	if fp == nil {
+		rcv(e)
+		return
+	}
+	for _, out := range fp.transmit(e) {
+		rcv(out)
+	}
+}
+
+// SetFaults installs (or, with nil, removes) the fault-injection plane.
+func (n *Network) SetFaults(fp *FaultPlane) {
+	n.faults.Store(fp)
+}
+
+// Faults returns the installed fault plane, or nil on a clean wire.
+func (n *Network) Faults() *FaultPlane {
+	return n.faults.Load()
+}
+
+// FlushFaults releases every envelope the fault plane is withholding, in a
+// seeded deterministic order — the phase barrier where delayed traffic
+// finally arrives. No-op on a clean wire.
+func (n *Network) FlushFaults(rcv func(Envelope)) {
+	if fp := n.faults.Load(); fp != nil {
+		fp.Flush(rcv)
+	}
 }
 
 // Tap registers an observer called for every envelope (an eavesdropper or
@@ -123,25 +173,22 @@ func (n *Network) Tap(f func(Envelope)) {
 
 // Stats returns total traffic.
 func (n *Network) Stats() Stats {
-	return n.totals.stats()
+	return n.st.Load().totals.stats()
 }
 
 // KindStats returns traffic for one protocol phase.
 func (n *Network) KindStats(kind string) Stats {
-	if c, ok := n.perKind.Load(kind); ok {
+	if c, ok := n.st.Load().perKind.Load(kind); ok {
 		return c.(*counter).stats()
 	}
 	return Stats{}
 }
 
-// Reset zeroes all counters. Callers must not race Reset with Send.
+// Reset zeroes all counters by opening a fresh accounting epoch. It is
+// safe to call while sends are in flight: each epoch's counters stay
+// internally consistent, and a send racing the swap is attributed to the
+// retired epoch (i.e. discarded with it) rather than corrupting the new
+// one.
 func (n *Network) Reset() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.totals.messages.Store(0)
-	n.totals.bytes.Store(0)
-	n.perKind.Range(func(k, _ any) bool {
-		n.perKind.Delete(k)
-		return true
-	})
+	n.st.Store(&netState{})
 }

@@ -1,0 +1,264 @@
+// The reliability layer the Part III protocols run over when the wire is
+// faulty: an ARQ link with sequence-numbered frames, SHA-256 integrity
+// tags, acknowledgements that themselves ride the faulty wire, and bounded
+// retransmission with exponential backoff under the simulated clock. The
+// tag detects in-flight corruption (a corrupted frame is treated as loss
+// and retransmitted); it is not keyed, so authenticating the sender
+// against a forging SSI remains the job of the protocol-level MACs.
+package netsim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Reliability parameterizes a Link.
+type Reliability struct {
+	// MaxRetries bounds retransmissions per frame beyond the first
+	// attempt; <= 0 selects the default (16).
+	MaxRetries int
+	// Backoff is the base simulated wait before a retransmission,
+	// doubling per retry; <= 0 selects the default (5ms).
+	Backoff time.Duration
+}
+
+// Reliability defaults.
+const (
+	DefaultMaxRetries = 16
+	DefaultBackoff    = 5 * time.Millisecond
+)
+
+func (r Reliability) withDefaults() Reliability {
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = DefaultMaxRetries
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = DefaultBackoff
+	}
+	return r
+}
+
+// RelStats aggregates the cost the reliability layer paid on one link.
+type RelStats struct {
+	Transfers   int           // frames offered to the link
+	Retransmits int           // extra wire attempts beyond the first
+	Acks        int           // acknowledgement frames received back
+	TagFailures int           // frames rejected by the integrity tag
+	Backoff     time.Duration // simulated time spent waiting between retries
+}
+
+// add folds o into s.
+func (s *RelStats) add(o RelStats) {
+	s.Transfers += o.Transfers
+	s.Retransmits += o.Retransmits
+	s.Acks += o.Acks
+	s.TagFailures += o.TagFailures
+	s.Backoff += o.Backoff
+}
+
+// Add returns s with o folded in.
+func (s RelStats) Add(o RelStats) RelStats {
+	s.add(o)
+	return s
+}
+
+// ErrRetriesExhausted is the typed failure of a reliable transfer: every
+// attempt (original plus MaxRetries retransmissions) was lost. Match with
+// errors.Is; the concrete *RetryError carries the frame's coordinates.
+var ErrRetriesExhausted = errors.New("netsim: retries exhausted")
+
+// RetryError reports an abandoned transfer.
+type RetryError struct {
+	Kind     string
+	To       string
+	Seq      uint64
+	Attempts int
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("netsim: retries exhausted for %q frame seq=%d to %s after %d attempts",
+		e.Kind, e.Seq, e.To, e.Attempts)
+}
+
+// Is makes errors.Is(err, ErrRetriesExhausted) match.
+func (e *RetryError) Is(target error) bool { return target == ErrRetriesExhausted }
+
+// Frame layout: seq(8) | attempt(2) | ack(1) | payload | sha256 tag(32).
+const frameOverhead = 8 + 2 + 1 + 32
+
+type frame struct {
+	seq     uint64
+	attempt uint16
+	ack     bool
+	payload []byte
+}
+
+// EncodeFrame seals a reliability frame around payload.
+func EncodeFrame(seq uint64, attempt uint16, ack bool, payload []byte) []byte {
+	out := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint64(out[:8], seq)
+	binary.LittleEndian.PutUint16(out[8:10], attempt)
+	if ack {
+		out[10] = 1
+	}
+	copy(out[11:], payload)
+	tag := sha256.Sum256(out[: 11+len(payload) : 11+len(payload)])
+	copy(out[11+len(payload):], tag[:])
+	return out
+}
+
+// DecodeFrame verifies the integrity tag and unwraps a frame. ok is false
+// for truncated or corrupted frames.
+func DecodeFrame(data []byte) (seq uint64, attempt uint16, ack bool, payload []byte, ok bool) {
+	fr, ok := decodeFrame(data)
+	return fr.seq, fr.attempt, fr.ack, fr.payload, ok
+}
+
+func decodeFrame(data []byte) (frame, bool) {
+	if len(data) < frameOverhead {
+		return frame{}, false
+	}
+	body := data[:len(data)-32]
+	tag := sha256.Sum256(body)
+	if !bytes.Equal(tag[:], data[len(data)-32:]) {
+		return frame{}, false
+	}
+	return frame{
+		seq:     binary.LittleEndian.Uint64(body[:8]),
+		attempt: binary.LittleEndian.Uint16(body[8:10]),
+		ack:     body[10] == 1,
+		payload: body[11:],
+	}, true
+}
+
+// Link is one reliable channel over a (possibly faulty) Network. A link
+// may carry frames between many endpoint pairs — the sequence number is
+// link-global — and is safe for the concurrent transfers of a parallel
+// token fleet. Receiver-side state (the seen-sequence set) lives in the
+// link too: the simulator runs both ends in-process.
+type Link struct {
+	net *Network
+	cfg Reliability
+
+	mu    sync.Mutex
+	seq   uint64
+	seen  map[uint64]bool
+	stats RelStats
+}
+
+// NewLink binds a reliable link to a network.
+func NewLink(net *Network, cfg Reliability) *Link {
+	return &Link{net: net, cfg: cfg.withDefaults(), seen: map[uint64]bool{}}
+}
+
+// Stats returns a snapshot of the link's reliability counters.
+func (l *Link) Stats() RelStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Transfer moves one envelope across the link: frame, transmit through the
+// fault plane, await the ack, and retransmit with exponential (simulated)
+// backoff until acked or the retry budget is spent. deliver fires exactly
+// once per sequence number — duplicated copies are absorbed — and a frame
+// none of whose attempts survived yields a *RetryError.
+func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
+	l.mu.Lock()
+	l.seq++
+	seq := l.seq
+	l.stats.Transfers++
+	l.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		wire := EncodeFrame(seq, uint16(attempt), false, e.Payload)
+		acked := false
+		l.net.Deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: wire}, func(got Envelope) {
+			l.receive(got, e, deliver, func(ackSeq uint64) {
+				if ackSeq == seq {
+					acked = true
+				}
+			})
+		})
+		if acked {
+			return nil
+		}
+		if attempt >= l.cfg.MaxRetries {
+			return &RetryError{Kind: e.Kind, To: e.To, Seq: seq, Attempts: attempt + 1}
+		}
+		l.mu.Lock()
+		l.stats.Retransmits++
+		l.stats.Backoff += l.cfg.Backoff << uint(min(attempt, 16))
+		l.mu.Unlock()
+	}
+}
+
+// receive is the receiver side of one arriving wire copy: verify the tag,
+// deduplicate by sequence number, deliver on first sight, and push the ack
+// back through the (equally faulty) wire. Late or duplicate copies are
+// re-acked, as in any ARQ.
+func (l *Link) receive(got Envelope, orig Envelope, deliver func(Envelope), onAck func(uint64)) {
+	fr, ok := decodeFrame(got.Payload)
+	if !ok || fr.ack {
+		if !ok {
+			l.mu.Lock()
+			l.stats.TagFailures++
+			l.mu.Unlock()
+		}
+		return
+	}
+	if l.markSeen(fr.seq) && deliver != nil {
+		deliver(Envelope{From: got.From, To: got.To, Kind: got.Kind, Payload: fr.payload})
+	}
+	ackWire := EncodeFrame(fr.seq, fr.attempt, true, nil)
+	l.net.Deliver(Envelope{From: orig.To, To: orig.From, Kind: orig.Kind + "/ack", Payload: ackWire}, func(a Envelope) {
+		af, ok := decodeFrame(a.Payload)
+		if !ok || !af.ack {
+			if !ok {
+				l.mu.Lock()
+				l.stats.TagFailures++
+				l.mu.Unlock()
+			}
+			return
+		}
+		l.mu.Lock()
+		l.stats.Acks++
+		l.mu.Unlock()
+		onAck(af.seq)
+	})
+}
+
+// Accept processes a data frame that surfaced outside a Transfer — a
+// delayed envelope released at a phase barrier. It verifies, deduplicates
+// and delivers, but sends no ack: by flush time the sender has already
+// retransmitted or given up. Ack frames are ignored.
+func (l *Link) Accept(e Envelope, deliver func(Envelope)) {
+	fr, ok := decodeFrame(e.Payload)
+	if !ok || fr.ack {
+		if !ok {
+			l.mu.Lock()
+			l.stats.TagFailures++
+			l.mu.Unlock()
+		}
+		return
+	}
+	if l.markSeen(fr.seq) && deliver != nil {
+		deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: fr.payload})
+	}
+}
+
+// markSeen records seq and reports whether this was its first sighting.
+func (l *Link) markSeen(seq uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seen[seq] {
+		return false
+	}
+	l.seen[seq] = true
+	return true
+}

@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	wire := EncodeFrame(7, 3, false, []byte("hello"))
+	seq, attempt, ack, payload, ok := DecodeFrame(wire)
+	if !ok || seq != 7 || attempt != 3 || ack || string(payload) != "hello" {
+		t.Fatalf("round trip = seq=%d attempt=%d ack=%v payload=%q ok=%v", seq, attempt, ack, payload, ok)
+	}
+	// Any single-byte corruption must be caught by the tag.
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x01
+		if _, _, _, _, ok := DecodeFrame(bad); ok {
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+	if _, _, _, _, ok := DecodeFrame(wire[:frameOverhead-1]); ok {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestTransferCleanWire(t *testing.T) {
+	n := New()
+	l := NewLink(n, Reliability{})
+	var got []string
+	err := l.Transfer(Envelope{From: "a", To: "b", Kind: "k", Payload: []byte("p1")}, func(e Envelope) {
+		got = append(got, string(e.Payload))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("delivered %v", got)
+	}
+	st := l.Stats()
+	if st.Transfers != 1 || st.Retransmits != 0 || st.Acks != 1 || st.Backoff != 0 {
+		t.Errorf("clean-wire stats = %+v", st)
+	}
+	// One data frame + one ack on the wire.
+	if s := n.Stats(); s.Messages != 2 {
+		t.Errorf("wire messages = %d, want 2", s.Messages)
+	}
+}
+
+func TestTransferRecoversFromDrops(t *testing.T) {
+	n := New()
+	n.SetFaults(NewFaultPlane(FaultPlan{Seed: 11, Default: FaultSpec{Drop: 0.4}}))
+	l := NewLink(n, Reliability{MaxRetries: 30})
+	var got []string
+	for i := 0; i < 50; i++ {
+		payload := fmt.Sprintf("msg-%02d", i)
+		err := l.Transfer(Envelope{From: "a", To: "b", Kind: "k", Payload: []byte(payload)}, func(e Envelope) {
+			got = append(got, string(e.Payload))
+		})
+		if err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+	}
+	if len(got) != 50 {
+		t.Fatalf("delivered %d of 50 exactly-once payloads", len(got))
+	}
+	for i, p := range got {
+		if p != fmt.Sprintf("msg-%02d", i) {
+			t.Fatalf("delivery %d = %q out of order", i, p)
+		}
+	}
+	st := l.Stats()
+	if st.Retransmits == 0 {
+		t.Error("40% drop caused no retransmissions")
+	}
+	if st.Backoff == 0 {
+		t.Error("retransmissions accrued no simulated backoff")
+	}
+}
+
+func TestTransferAbsorbsDuplicates(t *testing.T) {
+	n := New()
+	n.SetFaults(NewFaultPlane(FaultPlan{Seed: 12, Default: FaultSpec{Duplicate: 1}}))
+	l := NewLink(n, Reliability{})
+	delivered := 0
+	if err := l.Transfer(Envelope{From: "a", To: "b", Kind: "k", Payload: []byte("x")}, func(Envelope) {
+		delivered++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("duplicated frame delivered %d times", delivered)
+	}
+}
+
+func TestTransferSurvivesDelayViaRetry(t *testing.T) {
+	// Delay withholds copies until the flush barrier; the retry (whose
+	// frame hashes differently) gets through, and the flushed copy is
+	// deduplicated by Accept.
+	n := New()
+	n.SetFaults(NewFaultPlane(FaultPlan{Seed: 13, Default: FaultSpec{Delay: 0.5}}))
+	l := NewLink(n, Reliability{MaxRetries: 40})
+	delivered := 0
+	for i := 0; i < 30; i++ {
+		err := l.Transfer(Envelope{From: "a", To: "b", Kind: "k", Payload: []byte(fmt.Sprintf("d%02d", i))}, func(Envelope) {
+			delivered++
+		})
+		if err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+	}
+	if delivered != 30 {
+		t.Fatalf("delivered %d of 30", delivered)
+	}
+	n.FlushFaults(func(e Envelope) {
+		l.Accept(e, func(Envelope) { delivered++ })
+	})
+	if delivered != 30 {
+		t.Errorf("flush re-delivered already-acked frames: %d", delivered)
+	}
+}
+
+func TestTransferExhaustsRetriesTyped(t *testing.T) {
+	n := New()
+	n.SetFaults(NewFaultPlane(FaultPlan{Seed: 14, Default: FaultSpec{Drop: 1}}))
+	l := NewLink(n, Reliability{MaxRetries: 3})
+	err := l.Transfer(Envelope{From: "a", To: "b", Kind: "k", Payload: []byte("x")}, nil)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || re.Attempts != 4 || re.Kind != "k" {
+		t.Errorf("retry error detail = %+v", re)
+	}
+	if st := l.Stats(); st.Retransmits != 3 {
+		t.Errorf("retransmits = %d, want 3", st.Retransmits)
+	}
+}
+
+func TestTransferTreatsCorruptionAsLoss(t *testing.T) {
+	// A tap cannot mutate the frame in flight, so simulate corruption by
+	// feeding a mangled frame to the receive path directly: the tag must
+	// reject it without delivering.
+	n := New()
+	l := NewLink(n, Reliability{})
+	wire := EncodeFrame(1, 0, false, []byte("x"))
+	wire[frameOverhead/2] ^= 0xFF
+	l.Accept(Envelope{Kind: "k", Payload: wire}, func(Envelope) {
+		t.Error("corrupted frame delivered")
+	})
+	if st := l.Stats(); st.TagFailures != 1 {
+		t.Errorf("tag failures = %d, want 1", st.TagFailures)
+	}
+}
+
+func TestConcurrentTransfers(t *testing.T) {
+	// A parallel token fleet shares one link: deliveries must be
+	// exactly-once per payload and the counters race-clean.
+	n := New()
+	n.SetFaults(NewFaultPlane(FaultPlan{Seed: 15, Default: FaultSpec{Drop: 0.2, Duplicate: 0.2}}))
+	l := NewLink(n, Reliability{MaxRetries: 40})
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				payload := fmt.Sprintf("w%d-%02d", w, i)
+				err := l.Transfer(Envelope{From: "a", To: "b", Kind: "k", Payload: []byte(payload)}, func(e Envelope) {
+					mu.Lock()
+					seen[string(e.Payload)]++
+					mu.Unlock()
+				})
+				if err != nil {
+					t.Errorf("transfer %s: %v", payload, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 200 {
+		t.Fatalf("distinct deliveries = %d, want 200", len(seen))
+	}
+	for p, c := range seen {
+		if c != 1 {
+			t.Errorf("payload %s delivered %d times", p, c)
+		}
+	}
+}
+
+func TestRelStatsAdd(t *testing.T) {
+	a := RelStats{Transfers: 1, Retransmits: 2, Acks: 3, TagFailures: 4, Backoff: 5}
+	b := a.Add(a)
+	if b.Transfers != 2 || b.Retransmits != 4 || b.Acks != 6 || b.TagFailures != 8 || b.Backoff != 10 {
+		t.Errorf("Add = %+v", b)
+	}
+}
+
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(EncodeFrame(1, 0, false, []byte("payload")))
+	f.Add(EncodeFrame(1<<60, 65535, true, nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, attempt, ack, payload, ok := DecodeFrame(data)
+		if !ok {
+			return
+		}
+		// Anything the tag accepts must re-encode byte-identically: the
+		// frame format is canonical.
+		re := EncodeFrame(seq, attempt, ack, payload)
+		if string(re) != string(data) {
+			t.Fatalf("accepted frame not canonical")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package smc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"pds/internal/netsim"
+)
+
+// SecureSumOverNetwork runs the [CKV+02] ring protocol over a simulated
+// (and possibly faulty) wire instead of the in-process Trace: each hop
+// P(i) → P(i+1) travels as a netsim envelope of kind "ring". When plan is
+// non-nil the network injects the seeded fault schedule and every hop
+// crosses a reliable ARQ link, so the protocol still yields the exact sum
+// — or fails with netsim's typed retry error, never a wrong answer. The
+// returned stats expose both the wire cost and the reliability cost.
+func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rng *rand.Rand,
+	plan *netsim.FaultPlan, rel netsim.Reliability) (int64, netsim.Stats, netsim.RelStats, error) {
+
+	var zero netsim.RelStats
+	if len(values) < 3 {
+		return 0, netsim.Stats{}, zero, fmt.Errorf("%w: have %d", ErrTooFewParties, len(values))
+	}
+	if modulus <= 0 {
+		return 0, netsim.Stats{}, zero, ErrBadModulus
+	}
+	for i, v := range values {
+		if v < 0 || v >= modulus {
+			return 0, netsim.Stats{}, zero, fmt.Errorf("%w: party %d value %d", ErrValueRange, i, v)
+		}
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+	mask := rng.Int63n(modulus)
+
+	var link *netsim.Link
+	if plan != nil {
+		net.SetFaults(netsim.NewFaultPlane(*plan))
+		link = netsim.NewLink(net, rel)
+	}
+	hop := func(from, to int, running int64) (int64, error) {
+		var payload [8]byte
+		binary.LittleEndian.PutUint64(payload[:], uint64(running))
+		e := netsim.Envelope{
+			From:    fmt.Sprintf("party-%d", from),
+			To:      fmt.Sprintf("party-%d", to),
+			Kind:    "ring",
+			Payload: payload[:],
+		}
+		var got int64
+		if link == nil {
+			net.Send(e)
+			got = running
+		} else {
+			delivered := false
+			if err := link.Transfer(e, func(in netsim.Envelope) {
+				got = int64(binary.LittleEndian.Uint64(in.Payload))
+				delivered = true
+			}); err != nil {
+				return 0, err
+			}
+			if !delivered {
+				return 0, fmt.Errorf("smc: ring hop %d→%d acked but not delivered", from, to)
+			}
+		}
+		return got, nil
+	}
+
+	running := (values[0] + mask) % modulus
+	for i := 1; i < len(values); i++ {
+		got, err := hop(i-1, i, running)
+		if err != nil {
+			return 0, net.Stats(), relStats(link), err
+		}
+		running = (got + values[i]) % modulus
+	}
+	got, err := hop(len(values)-1, 0, running)
+	if err != nil {
+		return 0, net.Stats(), relStats(link), err
+	}
+	sum := ((got-mask)%modulus + modulus) % modulus
+	return sum, net.Stats(), relStats(link), nil
+}
+
+func relStats(link *netsim.Link) netsim.RelStats {
+	if link == nil {
+		return netsim.RelStats{}
+	}
+	return link.Stats()
+}

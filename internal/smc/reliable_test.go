@@ -1,0 +1,79 @@
+package smc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pds/internal/netsim"
+)
+
+func TestSecureSumOverNetworkCleanMatchesSecureSum(t *testing.T) {
+	values := []int64{10, 20, 30, 40, 5}
+	const mod = int64(1000)
+	want, _, err := SecureSum(values, mod, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New()
+	got, stats, rel, err := SecureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(2)), nil, netsim.Reliability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("network sum = %d, want %d", got, want)
+	}
+	// One hop per party: P0→P1→…→Pn-1→P0.
+	if stats.Messages != int64(len(values)) {
+		t.Errorf("wire messages = %d, want %d", stats.Messages, len(values))
+	}
+	if rel != (netsim.RelStats{}) {
+		t.Errorf("clean run accrued reliability cost: %+v", rel)
+	}
+}
+
+func TestSecureSumOverNetworkExactUnderDrops(t *testing.T) {
+	values := []int64{7, 13, 21, 34, 55, 89}
+	const mod = int64(10000)
+	want := int64(0)
+	for _, v := range values {
+		want += v
+	}
+	net := netsim.New()
+	plan := &netsim.FaultPlan{Seed: 77, Default: netsim.FaultSpec{Drop: 0.2, Duplicate: 0.1}}
+	got, stats, rel, err := SecureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(3)), plan, netsim.Reliability{MaxRetries: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("sum under faults = %d, want %d", got, want)
+	}
+	if stats.Messages <= int64(len(values)) {
+		t.Errorf("faulty wire cost %d messages, want > %d (frames + acks + retries)", stats.Messages, len(values))
+	}
+	if rel.Transfers != len(values) {
+		t.Errorf("transfers = %d, want %d", rel.Transfers, len(values))
+	}
+}
+
+func TestSecureSumOverNetworkRetriesExhaustedTyped(t *testing.T) {
+	net := netsim.New()
+	plan := &netsim.FaultPlan{Seed: 5, Default: netsim.FaultSpec{Drop: 1}}
+	_, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(4)), plan, netsim.Reliability{MaxRetries: 2})
+	if !errors.Is(err, netsim.ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+}
+
+func TestSecureSumOverNetworkValidation(t *testing.T) {
+	net := netsim.New()
+	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrTooFewParties) {
+		t.Errorf("2 parties: err = %v", err)
+	}
+	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 0, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrBadModulus) {
+		t.Errorf("bad modulus: err = %v", err)
+	}
+	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 99}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrValueRange) {
+		t.Errorf("out of range: err = %v", err)
+	}
+}

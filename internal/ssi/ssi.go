@@ -17,7 +17,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
@@ -45,7 +44,11 @@ func (m Mode) String() string {
 }
 
 // Behavior parameterizes a weakly-malicious server. Rates are per
-// envelope, applied during partitioning.
+// envelope, applied during partitioning. Each envelope's fate is a pure
+// seeded-hash function of its inbox position, so the attack schedule
+// replays exactly from the seed for a given upload order — deliberately
+// independent of payload bytes, which vary run to run under
+// non-deterministic encryption.
 type Behavior struct {
 	DropRate      float64
 	DuplicateRate float64
@@ -72,7 +75,6 @@ type Server struct {
 	net      *netsim.Network
 	mode     Mode
 	behavior Behavior
-	rng      *rand.Rand
 
 	inbox    []netsim.Envelope
 	obs      Observations
@@ -85,7 +87,6 @@ func New(net *netsim.Network, mode Mode, b Behavior) *Server {
 		net:      net,
 		mode:     mode,
 		behavior: b,
-		rng:      rand.New(rand.NewSource(b.Seed)),
 		obs:      Observations{GroupFrequencies: map[string]int{}},
 		payloads: map[string]bool{},
 	}
@@ -175,21 +176,31 @@ func (s *Server) Partition(chunkSize int) ([][]netsim.Envelope, error) {
 	return chunks, nil
 }
 
-// corrupt applies the covert misbehaviour.
+// corrupt applies the covert misbehaviour. Each envelope's fate is drawn
+// from a seeded hash of its inbox position rather than a stateful PRNG,
+// so the attack schedule is a pure function of (Behavior, upload order)
+// and replays exactly for debugging a detected run.
 func (s *Server) corrupt(in []netsim.Envelope) []netsim.Envelope {
+	b := s.behavior
 	var out []netsim.Envelope
-	for _, e := range in {
-		r := s.rng.Float64()
+	for i, e := range in {
+		var idx [8]byte
+		binary.LittleEndian.PutUint64(idx[:], uint64(i))
+		r := netsim.HashUniform(b.Seed, []byte("ssi-corrupt"), idx[:])
 		switch {
-		case r < s.behavior.DropRate:
+		case r < b.DropRate:
 			continue
-		case r < s.behavior.DropRate+s.behavior.DuplicateRate:
+		case r < b.DropRate+b.DuplicateRate:
 			out = append(out, e, e)
-		case r < s.behavior.DropRate+s.behavior.DuplicateRate+s.behavior.ForgeRate:
+		case r < b.DropRate+b.DuplicateRate+b.ForgeRate:
 			forged := e
 			forged.Payload = append([]byte(nil), e.Payload...)
 			if len(forged.Payload) > 0 {
-				forged.Payload[s.rng.Intn(len(forged.Payload))] ^= 0xA5
+				pos := int(netsim.HashUniform(b.Seed, []byte("ssi-forge-pos"), idx[:]) * float64(len(forged.Payload)))
+				if pos >= len(forged.Payload) {
+					pos = len(forged.Payload) - 1
+				}
+				forged.Payload[pos] ^= 0xA5
 			}
 			out = append(out, forged)
 		default:
