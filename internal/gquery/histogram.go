@@ -108,6 +108,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		return nil, stats, fmt.Errorf("gquery: no buckets")
 	}
 	tp := newTransport(net, cfg)
+	defer tp.close()
 
 	// Collection: bucket id rides in clear, everything else encrypted.
 	for _, p := range parts {

@@ -68,6 +68,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	rng := rand.New(rand.NewSource(seed))
 	fakesPer := map[string]int{}
 	tp := newTransport(net, cfg)
+	defer tp.close()
 
 	// Collection: true tuples first, then fakes, under one id sequence.
 	for _, p := range parts {

@@ -245,6 +245,40 @@ func TestPropertyRetryCostSurfaced(t *testing.T) {
 	}
 }
 
+// TestPropertyRunRestoresFaultPlane: a faulted run arms the network's
+// fault plane for its own duration only — the pre-run plane (here: none)
+// is restored on every exit path, so later traffic on the same Network
+// does not inherit a stale fault schedule.
+func TestPropertyRunRestoresFaultPlane(t *testing.T) {
+	parts := makeParts(8, 3, testDomain, 71)
+	kr := mustKeyring(t)
+	plan := &netsim.FaultPlan{Seed: 108, Default: netsim.FaultSpec{Drop: 0.2, Duplicate: 0.1}}
+
+	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+	if _, _, err := RunSecureAggCfg(net, srv, parts, kr, 7, RunConfig{Workers: 2, Faults: plan, MaxRetries: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if net.Faults() != nil {
+		t.Error("secure-agg run left its fault plane armed")
+	}
+
+	// The error path must restore the plane too.
+	net, srv = freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+	dead := &netsim.FaultPlan{Seed: 109, Default: netsim.FaultSpec{Drop: 1}}
+	if _, _, err := RunSecureAggCfg(net, srv, parts, kr, 7, RunConfig{Workers: 1, Faults: dead, MaxRetries: 2}); err == nil {
+		t.Fatal("drop=1 run unexpectedly succeeded")
+	}
+	if net.Faults() != nil {
+		t.Error("failed run left its fault plane armed")
+	}
+
+	delivered := 0
+	net.Deliver(netsim.Envelope{Kind: "k", Payload: []byte("x")}, func(netsim.Envelope) { delivered++ })
+	if delivered != 1 {
+		t.Errorf("post-run delivery saw %d copies, want 1 (clean wire)", delivered)
+	}
+}
+
 // TestDetectionErrorContract pins the typed-error API.
 func TestDetectionErrorContract(t *testing.T) {
 	de := detectionError("secure-agg", RunStats{MACFailures: 3})

@@ -36,6 +36,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		return nil, stats, ErrBadChunkSize
 	}
 	tp := newTransport(net, cfg)
+	defer tp.close()
 
 	// Collection phase.
 	for _, p := range parts {

@@ -14,9 +14,10 @@ import (
 // plane and moves every leg through per-kind reliable ARQ links, whose
 // cost is folded into RunStats at the end of the run.
 type transport struct {
-	net *netsim.Network
-	rel netsim.Reliability
-	on  bool
+	net  *netsim.Network
+	rel  netsim.Reliability
+	on   bool
+	prev *netsim.FaultPlane // the network's plane before this run armed its own
 
 	mu    sync.Mutex
 	links map[string]*netsim.Link
@@ -27,9 +28,20 @@ func newTransport(net *netsim.Network, cfg RunConfig) *transport {
 	if cfg.Faults != nil {
 		tp.on = true
 		tp.rel = netsim.Reliability{MaxRetries: cfg.MaxRetries, Backoff: cfg.Backoff}
+		tp.prev = net.Faults()
 		net.SetFaults(netsim.NewFaultPlane(*cfg.Faults))
 	}
 	return tp
+}
+
+// close ends the run's fault epoch: the plane this run armed (and whatever
+// envelopes it still withholds) is detached from the network and the
+// pre-run plane restored, so a later caller delivering on the same Network
+// does not inherit a stale fault schedule.
+func (tp *transport) close() {
+	if tp.on {
+		tp.net.SetFaults(tp.prev)
+	}
 }
 
 // link returns the reliable link carrying one envelope kind, creating it

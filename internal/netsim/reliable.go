@@ -145,15 +145,23 @@ type Link struct {
 	net *Network
 	cfg Reliability
 
-	mu    sync.Mutex
-	seq   uint64
-	seen  map[uint64]bool
-	stats RelStats
+	mu      sync.Mutex
+	seq     uint64
+	seen    map[uint64]bool
+	acked   map[uint64]bool
+	pending map[uint64]func(Envelope) // deliver callbacks of in-flight transfers, by seq
+	stats   RelStats
 }
 
 // NewLink binds a reliable link to a network.
 func NewLink(net *Network, cfg Reliability) *Link {
-	return &Link{net: net, cfg: cfg.withDefaults(), seen: map[uint64]bool{}}
+	return &Link{
+		net:     net,
+		cfg:     cfg.withDefaults(),
+		seen:    map[uint64]bool{},
+		acked:   map[uint64]bool{},
+		pending: map[uint64]func(Envelope){},
+	}
 }
 
 // Stats returns a snapshot of the link's reliability counters.
@@ -173,18 +181,20 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 	l.seq++
 	seq := l.seq
 	l.stats.Transfers++
+	l.pending[seq] = deliver
 	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.pending, seq)
+		l.mu.Unlock()
+	}()
 
 	for attempt := 0; ; attempt++ {
 		wire := EncodeFrame(seq, uint16(attempt), false, e.Payload)
-		acked := false
-		l.net.Deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: wire}, func(got Envelope) {
-			l.receive(got, e, deliver, func(ackSeq uint64) {
-				if ackSeq == seq {
-					acked = true
-				}
-			})
-		})
+		l.net.Deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: wire}, l.receive)
+		l.mu.Lock()
+		acked := l.acked[seq]
+		l.mu.Unlock()
 		if acked {
 			return nil
 		}
@@ -198,39 +208,43 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 	}
 }
 
-// receive is the receiver side of one arriving wire copy: verify the tag,
-// deduplicate by sequence number, deliver on first sight, and push the ack
-// back through the (equally faulty) wire. Late or duplicate copies are
-// re-acked, as in any ARQ.
-func (l *Link) receive(got Envelope, orig Envelope, deliver func(Envelope), onAck func(uint64)) {
+// receive is the link-level receiver for one arriving wire copy: verify the
+// tag, then dispatch by the decoded frame, not by the Deliver context it
+// surfaced in — the fault plane may release a reorder-withheld frame during
+// a *different* transfer's transmit, and routing by the embedded sequence
+// number keeps it bound to the deliver callback its own Transfer
+// registered. Data frames are deduplicated by sequence, delivered on first
+// sight, and acked back through the (equally faulty) wire; late or
+// duplicate copies are re-acked, as in any ARQ. Ack frames mark their
+// sequence acked whichever transfer's Deliver surfaces them.
+func (l *Link) receive(got Envelope) {
 	fr, ok := decodeFrame(got.Payload)
-	if !ok || fr.ack {
-		if !ok {
-			l.mu.Lock()
-			l.stats.TagFailures++
-			l.mu.Unlock()
-		}
+	if !ok {
+		l.mu.Lock()
+		l.stats.TagFailures++
+		l.mu.Unlock()
 		return
 	}
-	if l.markSeen(fr.seq) && deliver != nil {
+	if fr.ack {
+		l.mu.Lock()
+		l.stats.Acks++
+		l.acked[fr.seq] = true
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Lock()
+	first := !l.seen[fr.seq]
+	l.seen[fr.seq] = true
+	var deliver func(Envelope)
+	if first {
+		deliver = l.pending[fr.seq]
+	}
+	l.mu.Unlock()
+	if first && deliver != nil {
 		deliver(Envelope{From: got.From, To: got.To, Kind: got.Kind, Payload: fr.payload})
 	}
 	ackWire := EncodeFrame(fr.seq, fr.attempt, true, nil)
-	l.net.Deliver(Envelope{From: orig.To, To: orig.From, Kind: orig.Kind + "/ack", Payload: ackWire}, func(a Envelope) {
-		af, ok := decodeFrame(a.Payload)
-		if !ok || !af.ack {
-			if !ok {
-				l.mu.Lock()
-				l.stats.TagFailures++
-				l.mu.Unlock()
-			}
-			return
-		}
-		l.mu.Lock()
-		l.stats.Acks++
-		l.mu.Unlock()
-		onAck(af.seq)
-	})
+	l.net.Deliver(Envelope{From: got.To, To: got.From, Kind: got.Kind + "/ack", Payload: ackWire}, l.receive)
 }
 
 // Accept processes a data frame that surfaced outside a Transfer — a

@@ -193,6 +193,80 @@ func TestConcurrentTransfers(t *testing.T) {
 	}
 }
 
+func TestTransferRoutesReleasedFramesToOwner(t *testing.T) {
+	// Reorder withholds a frame and releases it during the NEXT transmit of
+	// its kind — under a concurrent fleet, usually a different transfer's
+	// Deliver. The link must dispatch by the frame's own sequence number, so
+	// each transfer's callback sees exactly its own payload (regression:
+	// released frames used to ride the in-flight transfer's closure and were
+	// silently attributed to the wrong consumer).
+	n := New()
+	n.SetFaults(NewFaultPlane(FaultPlan{Seed: 16, Default: FaultSpec{Reorder: 0.4, Duplicate: 0.1}}))
+	l := NewLink(n, Reliability{MaxRetries: 40})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var misrouted []string
+	delivered := 0
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				payload := fmt.Sprintf("w%d-%02d", w, i)
+				err := l.Transfer(Envelope{From: "a", To: "b", Kind: "k", Payload: []byte(payload)}, func(e Envelope) {
+					mu.Lock()
+					delivered++
+					if string(e.Payload) != payload {
+						misrouted = append(misrouted, fmt.Sprintf("%s got %q", payload, e.Payload))
+					}
+					mu.Unlock()
+				})
+				if err != nil {
+					t.Errorf("transfer %s: %v", payload, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n.FlushFaults(func(e Envelope) { l.Accept(e, nil) })
+	if len(misrouted) > 0 {
+		t.Fatalf("%d frames delivered through the wrong transfer, e.g. %s", len(misrouted), misrouted[0])
+	}
+	if delivered != 200 {
+		t.Errorf("delivered %d of 200 exactly-once payloads", delivered)
+	}
+}
+
+func TestReceiveDispatchesBySequence(t *testing.T) {
+	// White-box pin of the routing contract behind the test above: a data
+	// frame surfacing in ANY Deliver context routes to the deliver callback
+	// registered for its own sequence number, duplicates are absorbed, and
+	// ack frames mark their sequence acked for whichever transfer owns it.
+	n := New()
+	l := NewLink(n, Reliability{})
+	var gotA, gotB []string
+	l.mu.Lock()
+	l.pending[7] = func(e Envelope) { gotA = append(gotA, string(e.Payload)) }
+	l.pending[8] = func(e Envelope) { gotB = append(gotB, string(e.Payload)) }
+	l.mu.Unlock()
+	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(7, 0, false, []byte("for-A"))})
+	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(8, 0, false, []byte("for-B"))})
+	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(7, 1, false, []byte("for-A"))})
+	if len(gotA) != 1 || gotA[0] != "for-A" {
+		t.Errorf("seq 7 deliveries = %q, want exactly [for-A]", gotA)
+	}
+	if len(gotB) != 1 || gotB[0] != "for-B" {
+		t.Errorf("seq 8 deliveries = %q, want exactly [for-B]", gotB)
+	}
+	l.mu.Lock()
+	acked7, acked8 := l.acked[7], l.acked[8]
+	l.mu.Unlock()
+	if !acked7 || !acked8 {
+		t.Errorf("acks not recorded by sequence: acked[7]=%v acked[8]=%v", acked7, acked8)
+	}
+}
+
 func TestRelStatsAdd(t *testing.T) {
 	a := RelStats{Transfers: 1, Retransmits: 2, Acks: 3, TagFailures: 4, Backoff: 5}
 	b := a.Add(a)

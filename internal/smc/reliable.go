@@ -37,7 +37,9 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 
 	var link *netsim.Link
 	if plan != nil {
+		prev := net.Faults()
 		net.SetFaults(netsim.NewFaultPlane(*plan))
+		defer net.SetFaults(prev)
 		link = netsim.NewLink(net, rel)
 	}
 	hop := func(from, to int, running int64) (int64, error) {

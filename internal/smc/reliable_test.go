@@ -65,6 +65,27 @@ func TestSecureSumOverNetworkRetriesExhaustedTyped(t *testing.T) {
 	}
 }
 
+func TestSecureSumOverNetworkRestoresFaultPlane(t *testing.T) {
+	// The run installs a fault plane on the caller's Network for its own
+	// duration only; both the success and the retries-exhausted path must
+	// restore the pre-run plane (here: none).
+	net := netsim.New()
+	plan := &netsim.FaultPlan{Seed: 78, Default: netsim.FaultSpec{Drop: 0.2}}
+	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(5)), plan, netsim.Reliability{MaxRetries: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if net.Faults() != nil {
+		t.Error("successful run left its fault plane armed")
+	}
+	dead := &netsim.FaultPlan{Seed: 79, Default: netsim.FaultSpec{Drop: 1}}
+	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(6)), dead, netsim.Reliability{MaxRetries: 2}); err == nil {
+		t.Fatal("drop=1 run unexpectedly succeeded")
+	}
+	if net.Faults() != nil {
+		t.Error("failed run left its fault plane armed")
+	}
+}
+
 func TestSecureSumOverNetworkValidation(t *testing.T) {
 	net := netsim.New()
 	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrTooFewParties) {
