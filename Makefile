@@ -1,13 +1,14 @@
 # Standard gates for the pds repro. `make ci` is what a checkin must pass:
 # vet, the full (shuffled) test suite, the race detector over the
 # concurrent substrate (netsim fault/reliability plane, ssi accounting,
-# gquery token fleet, privcrypto batch helpers, smc parallel protocols),
-# short fuzz passes over the wire-facing decoders, and a coverage summary.
+# gquery token fleet, privcrypto batch helpers, smc parallel protocols,
+# obs registry), short fuzz passes over the wire-facing decoders, the
+# determinism lint, the metrics smoke run, and a coverage summary.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race fuzz cover bench-part3
+.PHONY: ci build test vet race fuzz cover lint-determinism smoke-metrics bench-part3
 
 build:
 	$(GO) build ./...
@@ -19,7 +20,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/gquery/... ./internal/netsim/... ./internal/ssi/... ./internal/privcrypto/... ./internal/smc/...
+	$(GO) test -race ./internal/obs/... ./internal/gquery/... ./internal/netsim/... ./internal/ssi/... ./internal/privcrypto/... ./internal/smc/...
 
 # Short, bounded fuzz passes: the Paillier CRT/textbook cross-check and
 # the reliability-frame decoder (canonical re-encode property).
@@ -30,7 +31,26 @@ fuzz:
 cover:
 	$(GO) test -cover ./...
 
-ci: vet build test race fuzz cover
+# The simulation substrate and the observability layer must stay
+# deterministic: fault schedules and corruption decisions come from seeded
+# generators, never the global math/rand. (Protocol packages like gquery's
+# noise generator use seeded math/rand legitimately.)
+lint-determinism:
+	@bad=$$(grep -rln '"math/rand"' internal/netsim internal/ssi internal/obs --include='*.go' | grep -v _test.go); \
+	if [ -n "$$bad" ]; then \
+		echo "math/rand leaked into deterministic packages:"; echo "$$bad"; exit 1; \
+	fi
+	@echo "lint-determinism: ok"
+
+# End-to-end check of the -metrics flag: the quick sweep must emit a JSON
+# snapshot that parses and covers the promised metric families (asserted by
+# TestMetricsSnapshotSmoke), plus byte-identical serial snapshots
+# (TestObserverSnapshotByteIdentical).
+smoke-metrics:
+	$(GO) test ./cmd/pdsbench -run '^TestMetricsSnapshotSmoke$$' -count=1
+	$(GO) test ./internal/gquery -run '^TestObserverSnapshotByteIdentical$$' -count=1
+
+ci: vet build test race fuzz cover lint-determinism smoke-metrics
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:

@@ -26,7 +26,7 @@ func runE17(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "bits/key\tsummary-pages\tlookup(IO)\tfalse-reads")
 	for _, bits := range []int{2, 4, 8, 16, 32} {
-		alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		alloc := flash.NewAllocator(newChip(cfg))
 		tbl := embdb.NewTable(alloc, "CUSTOMER", embdb.NewSchema(
 			embdb.Column{Name: "city", Type: embdb.Str},
 			embdb.Column{Name: "pad", Type: embdb.Str},
@@ -72,7 +72,7 @@ func runE17(cfg config) error {
 	fmt.Fprintln(w, "buckets\tbuffer-RAM(KiB)\tquery(IO)")
 	docs := workload.Documents(5000, 500, 6, 8)
 	for _, buckets := range []int{1, 2, 4, 8, 16, 32} {
-		chip := flash.NewChip(paperGeometry())
+		chip := newChip(cfg)
 		arena := mcu.NewArena(0)
 		eng, err := search.NewEngine(flash.NewAllocator(chip), arena, buckets)
 		if err != nil {

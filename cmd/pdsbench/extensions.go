@@ -42,7 +42,7 @@ func runE11(cfg config) error {
 				return "err"
 			}
 		}
-		chip := flash.NewChip(paperGeometry())
+		chip := newChip(cfg)
 		arena := mcu.NewArena(budget)
 		engineRes, s1, s4, naive := "-", "-", "-", "-"
 		eng, err := search.NewEngine(flash.NewAllocator(chip), arena, 8)
@@ -64,7 +64,7 @@ func runE11(cfg config) error {
 		}
 
 		// Star query under the same budget (fresh device).
-		chip2 := flash.NewChip(paperGeometry())
+		chip2 := newChip(cfg)
 		arena2 := mcu.NewArena(budget)
 		db := embdb.NewDB(flash.NewAllocator(chip2), arena2)
 		if err := workload.BuildStar(db, workload.StarScaleFactor(0.0005), 12); err != nil {
@@ -103,7 +103,7 @@ func runE12(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "puts\tlive-keys\tpages\tget(IO)\tscan-get(IO)\tpost-compact-pages\tpost-compact-get(IO)")
 	for _, n := range sizes {
-		alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		alloc := flash.NewAllocator(newChip(cfg))
 		s := kv.Open(alloc)
 		live := n / 4 // 4 versions per key on average
 		for i := 0; i < n; i++ {
@@ -155,7 +155,7 @@ func runE13(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "points\tpages\twindow(IO)\tscan(IO)\tsegments-from-summary\tboundary-reads")
 	for _, n := range sizes {
-		alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		alloc := flash.NewAllocator(newChip(cfg))
 		s := tseries.New(alloc)
 		for i := 0; i < n; i++ {
 			if err := s.Append(tseries.Point{T: int64(i), V: int64(i % 977)}); err != nil {
@@ -193,7 +193,7 @@ func runE13(cfg config) error {
 	}
 
 	// A day of meter data downsampled to hourly buckets.
-	alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+	alloc := flash.NewAllocator(newChip(cfg))
 	s := tseries.New(alloc)
 	day := workload.MeterReadings(1, 3)[0]
 	for q, v := range day {
@@ -346,7 +346,7 @@ func runE16(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "fixes\tpages\tquery(IO)\tscan(IO)\tpruned\tread\tmatches")
 	for _, n := range sizes {
-		alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		alloc := flash.NewAllocator(newChip(cfg))
 		tr := sptemp.New(alloc)
 		rng := rand.New(rand.NewSource(31))
 		var x, y int64

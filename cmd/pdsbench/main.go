@@ -9,6 +9,7 @@
 //	pdsbench                  # run every experiment
 //	pdsbench -exp E1,E6       # run a subset
 //	pdsbench -quick           # smaller sweeps (CI-friendly)
+//	pdsbench -metrics m.json  # also dump the obs metrics snapshot ('-' = stdout)
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"pds/internal/obs"
 )
 
 // experiment is one runnable study.
@@ -30,6 +33,9 @@ type experiment struct {
 // config carries global harness options.
 type config struct {
 	quick bool
+	// obs collects metrics and spans across every experiment of the
+	// invocation; nil when -metrics was not requested.
+	obs *obs.Registry
 }
 
 var experiments = []experiment{
@@ -56,6 +62,7 @@ var experiments = []experiment{
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e.g. E1,E6) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced sweeps")
+	metrics := flag.String("metrics", "", "write the obs metrics snapshot as JSON to this file ('-' = stdout)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -65,6 +72,9 @@ func main() {
 		}
 	}
 	cfg := config{quick: *quick}
+	if *metrics != "" {
+		cfg.obs = obs.NewRegistry()
+	}
 	ran := 0
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -88,4 +98,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; available: %s\n", *expFlag, strings.Join(ids, ","))
 		os.Exit(2)
 	}
+	if cfg.obs != nil {
+		if err := writeMetrics(*metrics, cfg.obs); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the registry snapshot as JSON to path ('-' = stdout).
+func writeMetrics(path string, reg *obs.Registry) error {
+	data, err := reg.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pds/internal/obs"
+)
+
+// TestMetricsSnapshotSmoke runs the fast experiments under an attached
+// registry — the same wiring as `pdsbench -metrics` — and asserts the
+// exported JSON parses and covers the subsystem families the flag promises:
+// netsim, gquery, flash, and embdb.
+func TestMetricsSnapshotSmoke(t *testing.T) {
+	cfg := config{quick: true, obs: obs.NewRegistry()}
+
+	// Silence the experiment tables; they are not under test.
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	errE1 := runE1(cfg)
+	errE4 := runE4(cfg)
+	errE6 := runE6(cfg)
+	os.Stdout = stdout
+	for _, err := range []error{errE1, errE4, errE6} {
+		if err != nil {
+			t.Fatalf("experiment failed: %v", err)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := writeMetrics(path, cfg.obs); err != nil {
+		t.Fatalf("writeMetrics: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if len(snap.Counters) == 0 || len(snap.Spans) == 0 {
+		t.Fatalf("snapshot empty: %d counters, %d spans", len(snap.Counters), len(snap.Spans))
+	}
+	for _, family := range []string{"netsim_", "gquery_", "flash_", "embdb_"} {
+		found := false
+		for _, c := range snap.Counters {
+			if strings.HasPrefix(c.Name, family) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s* counters in snapshot", family)
+		}
+	}
+}

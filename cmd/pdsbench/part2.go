@@ -18,6 +18,14 @@ func paperGeometry() flash.Geometry {
 	return flash.Geometry{PageSize: 2048, PagesPerBlock: 64, Blocks: 1 << 15}
 }
 
+// newChip builds a paper-geometry chip wired to the invocation's metrics
+// registry (a no-op when -metrics was not requested).
+func newChip(cfg config) *flash.Chip {
+	chip := flash.NewChip(paperGeometry())
+	chip.SetObserver(cfg.obs)
+	return chip
+}
+
 func newTab() *tabwriter.Writer {
 	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 }
@@ -32,7 +40,7 @@ func runE1(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "table(pages)\trows\tmatches\ttablescan(IO)\tsummaryscan(IO)\tsummary\tkeys-read\tfalse-reads\tspeedup")
 	for _, targetPages := range sizes {
-		alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		alloc := flash.NewAllocator(newChip(cfg))
 		tbl := embdb.NewTable(alloc, "CUSTOMER", embdb.NewSchema(
 			embdb.Column{Name: "name", Type: embdb.Str},
 			embdb.Column{Name: "city", Type: embdb.Str},
@@ -104,7 +112,7 @@ func runE2(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "entries\tseq-lookup(IO)\ttree-lookup(IO)\theight\ttree(pages)\treorg-reads\treorg-writes\treorg-erases")
 	for _, n := range sizes {
-		alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		alloc := flash.NewAllocator(newChip(cfg))
 		tbl := embdb.NewTable(alloc, "T", embdb.NewSchema(embdb.Column{Name: "v", Type: embdb.Int}))
 		ix, err := embdb.NewSelectIndex(tbl, "v")
 		if err != nil {
@@ -165,12 +173,13 @@ func runE3(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "docs\tindex(pages)\tkeywords\treads(IO)\tRAM-highwater(B)\tnaive-RAM(B)")
 	for _, n := range corpora {
-		chip := flash.NewChip(paperGeometry())
+		chip := newChip(cfg)
 		arena := mcu.NewArena(0)
 		eng, err := search.NewEngine(flash.NewAllocator(chip), arena, 8)
 		if err != nil {
 			return err
 		}
+		eng.SetObserver(cfg.obs)
 		docs := workload.Documents(n, 5000, 8, 7)
 		for _, d := range docs {
 			if _, err := eng.AddDocument(d); err != nil {
@@ -210,12 +219,13 @@ func runE3(cfg config) error {
 
 	// The MCU wall: with a sensor-class RAM budget the pipelined query
 	// still runs; the naive one cannot.
-	chip := flash.NewChip(paperGeometry())
+	chip := newChip(cfg)
 	arena := mcu.NewArena(24 << 10) // 24 KiB
 	eng, err := search.NewEngine(flash.NewAllocator(chip), arena, 4)
 	if err != nil {
 		return err
 	}
+	eng.SetObserver(cfg.obs)
 	defer eng.Close()
 	for _, d := range workload.Documents(5000, 200, 6, 8) {
 		if _, err := eng.AddDocument(d); err != nil {
@@ -247,8 +257,9 @@ func runE4(cfg config) error {
 	w := newTab()
 	fmt.Fprintln(w, "SF\tlineitems\tresults\tindexed(IO)\tnaive(IO)\tspeedup\tindexed-tuples\tnaive-tuples")
 	for _, sf := range scales {
-		alloc := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		alloc := flash.NewAllocator(newChip(cfg))
 		db := embdb.NewDB(alloc, mcu.NewArena(0))
+		db.SetObserver(cfg.obs)
 		scale := workload.StarScaleFactor(sf)
 		if err := workload.BuildStar(db, scale, 11); err != nil {
 			return err
@@ -310,7 +321,7 @@ func runE5(cfg config) error {
 	fmt.Fprintln(w, "inserts\tstructure\treads\twrites\terases\tsim-time")
 	for _, n := range sizes {
 		// In-place baseline.
-		allocA := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		allocA := flash.NewAllocator(newChip(cfg))
 		inplace := embdb.NewInPlaceIndex(allocA)
 		allocA.Chip().ResetStats()
 		for i := 0; i < n; i++ {
@@ -323,7 +334,7 @@ func runE5(cfg config) error {
 			n, sA.PageReads, sA.PageWrites, sA.BlockErases, sA.Cost(model).Round(10e3))
 
 		// Log-structured (Keys + summaries).
-		allocB := flash.NewAllocator(flash.NewChip(paperGeometry()))
+		allocB := flash.NewAllocator(newChip(cfg))
 		tbl := embdb.NewTable(allocB, "t", embdb.NewSchema(embdb.Column{Name: "v", Type: embdb.Int}))
 		ix, err := embdb.NewSelectIndex(tbl, "v")
 		if err != nil {

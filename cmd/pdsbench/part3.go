@@ -96,28 +96,29 @@ func runE6(cfg config) error {
 			name string
 			f    func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error)
 		}
+		eng := gquery.New(gquery.WithObserver(cfg.obs))
 		runners := []runner{
 			{"secure-agg", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-				return gquery.RunSecureAgg(net, srv, parts, kr, 64)
+				return eng.SecureAgg(net, srv, parts, kr, 64)
 			}},
 			{"noise-none", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-				return gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 0, gquery.NoNoise, 1)
+				return eng.Noise(net, srv, parts, kr, workload.Diagnoses, 0, gquery.NoNoise, 1)
 			}},
 			{"noise-white(1x)", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-				return gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.WhiteNoise, 1)
+				return eng.Noise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.WhiteNoise, 1)
 			}},
 			{"noise-ctrl(1x)", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-				return gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1)
+				return eng.Noise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1)
 			}},
 			{"homomorphic", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-				return gquery.RunPaillierAgg(net, srv, parts, kr, paillierSK.Public(), paillierSK)
+				return eng.PaillierAgg(net, srv, parts, kr, paillierSK.Public(), paillierSK)
 			}},
 			{"histogram(B=4)", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
 				buckets, err := gquery.EquiDepthBuckets(workload.Diagnoses, nil, 4)
 				if err != nil {
 					return nil, gquery.RunStats{}, err
 				}
-				br, st, err := gquery.RunHistogram(net, srv, parts, kr, buckets)
+				br, st, err := eng.Histogram(net, srv, parts, kr, buckets)
 				if err != nil {
 					return nil, st, err
 				}
@@ -146,6 +147,7 @@ func runE6(cfg config) error {
 	fmt.Println("\n-- leakage vs noise ratio (200 PDSs, controlled noise) --")
 	parts := workload.Participants(200, 3, 43)
 	truth := gquery.PlainResult(parts)
+	eng := gquery.New(gquery.WithObserver(cfg.obs))
 	w = newTab()
 	fmt.Fprintln(w, "noise/tuple\tfakes\tbytes\thist-dist")
 	for _, ratio := range []float64{0, 0.5, 1, 2, 4} {
@@ -155,7 +157,7 @@ func runE6(cfg config) error {
 		if ratio == 0 {
 			kind = gquery.NoNoise
 		}
-		_, stats, err := gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, ratio, kind, 2)
+		_, stats, err := eng.Noise(net, srv, parts, kr, workload.Diagnoses, ratio, kind, 2)
 		if err != nil {
 			return err
 		}
@@ -176,7 +178,7 @@ func runE6(cfg config) error {
 		}
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		br, _, err := gquery.RunHistogram(net, srv, parts, kr, buckets)
+		br, _, err := eng.Histogram(net, srv, parts, kr, buckets)
 		if err != nil {
 			return err
 		}
@@ -203,7 +205,7 @@ func runE6(cfg config) error {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
 		start := time.Now()
-		serRes, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Serial())
+		serRes, _, err := eng.SecureAgg(net, srv, parts, kr, 64)
 		if err != nil {
 			return err
 		}
@@ -211,7 +213,8 @@ func runE6(cfg config) error {
 		net = netsim.New()
 		srv = ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
 		start = time.Now()
-		parRes, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Parallel())
+		parRes, _, err := gquery.New(gquery.WithConfig(gquery.Parallel()), gquery.WithObserver(cfg.obs)).
+			SecureAgg(net, srv, parts, kr, 64)
 		if err != nil {
 			return err
 		}
@@ -232,6 +235,7 @@ func runE6(cfg config) error {
 // runE7 measures the [CKV+02] toolkit, Yao's millionaire protocol, and the
 // Paillier primitive costs.
 func runE7(cfg config) error {
+	toolkit := smc.New(smc.WithObserver(cfg.obs))
 	fmt.Println("-- secure sum (ring) --")
 	w := newTab()
 	fmt.Fprintln(w, "parties\tmsgs\tbytes\twall-time")
@@ -245,7 +249,7 @@ func runE7(cfg config) error {
 			vals[i] = int64(i % 97)
 		}
 		start := time.Now()
-		_, tr, err := smc.SecureSum(vals, 1<<40, nil)
+		_, tr, err := toolkit.SecureSum(vals, 1<<40, nil)
 		if err != nil {
 			return err
 		}
@@ -300,13 +304,13 @@ func runE7(cfg config) error {
 			a[i], b[i] = int64(i), int64(i%7)
 		}
 		start := time.Now()
-		_, tr, err := smc.ScalarProduct(a, b, sk)
+		_, tr, err := toolkit.ScalarProduct(a, b, sk)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "scalar-product\tlen=%d\t%d\t%v\n", n, tr.Messages, time.Since(start).Round(time.Millisecond))
 		start = time.Now()
-		if _, _, err := smc.ScalarProductCfg(a, b, sk, 0); err != nil {
+		if _, _, err := smc.New(smc.WithWorkers(0), smc.WithObserver(cfg.obs)).ScalarProduct(a, b, sk); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "scalar-product(par)\tlen=%d\t%d\t%v\n", n, tr.Messages, time.Since(start).Round(time.Millisecond))

@@ -50,23 +50,23 @@ func runE18(cfg config) error {
 
 	type protoRun struct {
 		name string
-		run  func(cfgRun gquery.RunConfig) (gquery.Result, gquery.RunStats, error)
+		run  func(eng *gquery.Engine) (gquery.Result, gquery.RunStats, error)
 	}
 	protos := []protoRun{
-		{"secure-agg", func(rc gquery.RunConfig) (gquery.Result, gquery.RunStats, error) {
+		{"secure-agg", func(eng *gquery.Engine) (gquery.Result, gquery.RunStats, error) {
 			net := netsim.New()
 			srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-			return gquery.RunSecureAggCfg(net, srv, parts, kr, 64, rc)
+			return eng.SecureAgg(net, srv, parts, kr, 64)
 		}},
-		{"noise-ctrl(1x)", func(rc gquery.RunConfig) (gquery.Result, gquery.RunStats, error) {
+		{"noise-ctrl(1x)", func(eng *gquery.Engine) (gquery.Result, gquery.RunStats, error) {
 			net := netsim.New()
 			srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-			return gquery.RunNoiseCfg(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1, rc)
+			return eng.Noise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1)
 		}},
-		{"histogram(B=4)", func(rc gquery.RunConfig) (gquery.Result, gquery.RunStats, error) {
+		{"histogram(B=4)", func(eng *gquery.Engine) (gquery.Result, gquery.RunStats, error) {
 			net := netsim.New()
 			srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-			br, st, err := gquery.RunHistogramCfg(net, srv, parts, kr, buckets, rc)
+			br, st, err := eng.Histogram(net, srv, parts, kr, buckets)
 			if err != nil {
 				return nil, st, err
 			}
@@ -81,7 +81,8 @@ func runE18(cfg config) error {
 		var baseline gquery.Result
 		var baseMsgs int64
 		for _, pl := range plans {
-			res, stats, err := p.run(gquery.RunConfig{Workers: 1, Faults: pl.plan})
+			res, stats, err := p.run(gquery.New(
+				gquery.WithWorkers(1), gquery.WithFaults(pl.plan), gquery.WithObserver(cfg.obs)))
 			if err != nil {
 				return fmt.Errorf("%s under %s: %w", p.name, pl.name, err)
 			}
@@ -116,7 +117,8 @@ func runE18(cfg config) error {
 			want += values[i]
 		}
 		net := netsim.New()
-		sum, stats, rel, err := smc.SecureSumOverNetwork(net, values, 1<<30, nil, pl.plan, netsim.Reliability{})
+		ring := smc.New(smc.WithFaults(pl.plan), smc.WithObserver(cfg.obs))
+		sum, stats, rel, err := ring.SecureSumOverNetwork(net, values, 1<<30, nil)
 		if err != nil {
 			return fmt.Errorf("ring under %s: %w", pl.name, err)
 		}
@@ -129,8 +131,9 @@ func runE18(cfg config) error {
 	for _, forge := range []float64{0.02, 0.1} {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.WeaklyMalicious, ssi.Behavior{ForgeRate: forge, Seed: 99})
-		_, stats, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64,
-			gquery.RunConfig{Workers: 1, Faults: plans[3].plan})
+		_, stats, err := gquery.New(
+			gquery.WithWorkers(1), gquery.WithFaults(plans[3].plan), gquery.WithObserver(cfg.obs)).
+			SecureAgg(net, srv, parts, kr, 64)
 		var de *gquery.DetectionError
 		switch {
 		case errors.As(err, &de):

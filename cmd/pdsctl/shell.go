@@ -11,6 +11,7 @@ import (
 	"pds/internal/embdb"
 	"pds/internal/kv"
 	"pds/internal/mcu"
+	"pds/internal/obs"
 	"pds/internal/search"
 	"pds/internal/tseries"
 )
@@ -29,6 +30,9 @@ type PDSHandle struct {
 	p   *core.PDS
 	kvs *kv.Store
 	ts  *tseries.Series
+	// obs collects device metrics (flash I/O, query cardinalities,
+	// search I/O) for the `metrics` command.
+	obs *obs.Registry
 }
 
 // errQuit signals a clean exit request.
@@ -81,6 +85,8 @@ func (s *shell) exec(line string) (string, error) {
 		return s.cmdAudit()
 	case "stats":
 		return s.cmdStats()
+	case "metrics":
+		return s.cmdMetrics(args)
 	default:
 		return "", fmt.Errorf("unknown command %q (try `help`)", cmd)
 	}
@@ -102,6 +108,7 @@ const helpText = `commands:
   policy show|save|load ...                      policy JSON management
   audit                                          show & verify the audit chain
   stats                                          device counters
+  metrics [json]                                 obs snapshot (Prometheus text or JSON)
   quit`
 
 func (s *shell) cmdNew(args []string) (string, error) {
@@ -136,7 +143,10 @@ func (s *shell) cmdNew(args []string) (string, error) {
 		}
 		s.pds.p.Close()
 	}
-	s.pds = &PDSHandle{p: p}
+	s.pds = &PDSHandle{p: p, obs: obs.NewRegistry()}
+	p.Device.Chip.SetObserver(s.pds.obs)
+	p.DB.SetObserver(s.pds.obs)
+	p.Docs.SetObserver(s.pds.obs)
 	return fmt.Sprintf("PDS %q ready on %s (%d KiB RAM, %d MiB flash)",
 		p.ID, p.Device.Profile.Name, p.Device.Profile.RAM>>10,
 		p.Device.Profile.Geometry.TotalBytes()>>20), nil
@@ -467,4 +477,23 @@ func (s *shell) cmdStats() (string, error) {
 	}
 	fmt.Fprintf(&b, "tables: %s", strings.Join(tables, ", "))
 	return b.String(), nil
+}
+
+func (s *shell) cmdMetrics(args []string) (string, error) {
+	snap := s.pds.obs.Snapshot()
+	if len(args) > 0 && args[0] == "json" {
+		data, err := snap.JSON()
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimRight(string(data), "\n"), nil
+	}
+	if len(args) > 0 {
+		return "", fmt.Errorf("usage: metrics [json], got %q", args[0])
+	}
+	out := strings.TrimRight(snap.Prometheus(), "\n")
+	if out == "" {
+		return "(no metrics yet)", nil
+	}
+	return out, nil
 }

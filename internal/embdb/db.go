@@ -8,7 +8,27 @@ import (
 	"pds/internal/flash"
 	"pds/internal/logstore"
 	"pds/internal/mcu"
+	"pds/internal/obs"
 )
+
+// Metric families the query pipeline emits on an attached observer.
+// Queries are labeled by path ("star" for the Tselect/Tjoin pipeline,
+// "naive" for the index-free baseline).
+const (
+	MetricQueries           = "embdb_queries_total"
+	MetricTselectCandidates = "embdb_tselect_candidates_total"
+	MetricStarSurvivors     = "embdb_star_survivors_total"
+	MetricTjoinProbes       = "embdb_tjoin_probes_total"
+	MetricTuplesFetched     = "embdb_tuples_fetched_total"
+	MetricRidRAMBytes       = "embdb_rid_ram_bytes"
+	// MetricTselectListSize is a histogram of per-condition candidate-list
+	// cardinalities — the selectivity distribution the Tselect design
+	// exploits.
+	MetricTselectListSize = "embdb_tselect_list_size"
+)
+
+// tselectListBounds buckets candidate-list sizes in powers of ten.
+var tselectListBounds = []int64{1, 10, 100, 1000, 10000, 100000}
 
 // DB is the embedded database of one secure token. It owns tables,
 // selection indexes (sequential or reorganized), foreign keys, and the
@@ -27,6 +47,11 @@ type DB struct {
 	// Star indexes per root table.
 	joins    map[string]*JoinIndex              // root → Tjoin
 	tselects map[string]map[string]*SelectIndex // root → "dimTable.dimCol" → Tselect
+
+	// obsv, when non-nil, receives query-pipeline metrics (operator
+	// cardinalities, rid-buffer occupancy). DB is single-threaded by
+	// design, so a plain field suffices.
+	obsv *obs.Registry
 }
 
 // Errors specific to DB management.
@@ -54,6 +79,17 @@ func NewDB(alloc *flash.Allocator, arena *mcu.Arena) *DB {
 
 // Arena returns the RAM arena queries draw from.
 func (db *DB) Arena() *mcu.Arena { return db.arena }
+
+// SetObserver attaches (or, with nil, detaches) a metrics registry; every
+// subsequent query mirrors its pipeline cardinalities into it.
+func (db *DB) SetObserver(reg *obs.Registry) { db.obsv = reg }
+
+// count bumps an unlabeled counter when an observer is attached.
+func (db *DB) count(family string, d int64) {
+	if db.obsv != nil && d != 0 {
+		db.obsv.Counter(family).Add(d)
+	}
+}
 
 // Alloc returns the flash allocator.
 func (db *DB) Alloc() *flash.Allocator { return db.alloc }

@@ -151,6 +151,16 @@ func (db *DB) ExecuteStar(q StarQuery) (*StarRows, error) {
 	rows.res = res
 	rows.rids = survivors
 	rows.stats.Survivors = len(survivors)
+	if db.obsv != nil {
+		db.obsv.Counter(MetricQueries, "path", "star").Inc()
+		hist := db.obsv.Histogram(MetricTselectListSize, tselectListBounds)
+		for _, n := range rows.stats.CandidateLists {
+			db.count(MetricTselectCandidates, int64(n))
+			hist.Observe(int64(n))
+		}
+		db.count(MetricStarSurvivors, int64(len(survivors)))
+		db.obsv.Gauge(MetricRidRAMBytes).Set(int64(ram))
+	}
 	return rows, nil
 }
 
@@ -189,6 +199,7 @@ func (r *StarRows) Next() (Row, bool) {
 	rid := r.rids[r.pos]
 	r.pos++
 	dimRids, err := r.ji.Get(rid)
+	r.db.count(MetricTjoinProbes, 1)
 	if err != nil {
 		r.err = err
 		return nil, false
@@ -212,6 +223,7 @@ func (r *StarRows) Next() (Row, bool) {
 		}
 		fetched[table] = row
 		r.stats.TuplesFetched++
+		r.db.count(MetricTuplesFetched, 1)
 		return row, nil
 	}
 	out := make(Row, len(r.proj))
@@ -264,6 +276,10 @@ func (db *DB) ExecuteStarNaive(q StarQuery) ([]Row, QueryStats, error) {
 	root, err := db.Table(q.Root)
 	if err != nil {
 		return nil, stats, err
+	}
+	if db.obsv != nil {
+		db.obsv.Counter(MetricQueries, "path", "naive").Inc()
+		defer func() { db.count(MetricTuplesFetched, int64(stats.TuplesFetched)) }()
 	}
 	// Pre-resolve condition and projection columns.
 	type colAt struct {

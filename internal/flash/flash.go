@@ -22,6 +22,16 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"pds/internal/obs"
+)
+
+// Metric families a chip emits on an attached observer — the paper's
+// Part II cost model, one counter per NAND operation class.
+const (
+	MetricPageReads   = "flash_page_reads_total"
+	MetricPageWrites  = "flash_page_writes_total"
+	MetricBlockErases = "flash_block_erases_total"
 )
 
 // Geometry describes the physical layout of a chip.
@@ -136,6 +146,12 @@ type Chip struct {
 	// one operation fails (-1 = disarmed).
 	writeFaultIn int
 	eraseFaultIn int
+
+	// Observer counters, resolved once at SetObserver; all nil when no
+	// registry is attached.
+	obsReads  *obs.Counter
+	obsWrites *obs.Counter
+	obsErases *obs.Counter
 }
 
 // NewChip allocates a chip with the given geometry. It panics if the
@@ -173,6 +189,20 @@ func (c *Chip) InjectEraseFault(after int) {
 
 // Geometry returns the chip layout.
 func (c *Chip) Geometry() Geometry { return c.geo }
+
+// SetObserver attaches (or, with nil, detaches) a metrics registry; every
+// subsequent page read/write and block erase is mirrored into it.
+func (c *Chip) SetObserver(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reg == nil {
+		c.obsReads, c.obsWrites, c.obsErases = nil, nil, nil
+		return
+	}
+	c.obsReads = reg.Counter(MetricPageReads)
+	c.obsWrites = reg.Counter(MetricPageWrites)
+	c.obsErases = reg.Counter(MetricBlockErases)
+}
 
 // Stats returns a snapshot of the operation counters.
 func (c *Chip) Stats() Stats {
@@ -232,6 +262,9 @@ func (c *Chip) WritePage(n int, data []byte) error {
 	c.data[n] = buf
 	c.next[b]++
 	c.stats.PageWrites++
+	if c.obsWrites != nil {
+		c.obsWrites.Inc()
+	}
 	return nil
 }
 
@@ -245,6 +278,9 @@ func (c *Chip) ReadPage(n int, dst []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.PageReads++
+	if c.obsReads != nil {
+		c.obsReads.Inc()
+	}
 	if c.data[n] == nil {
 		return 0, nil
 	}
@@ -259,6 +295,9 @@ func (c *Chip) Page(n int) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.PageReads++
+	if c.obsReads != nil {
+		c.obsReads.Inc()
+	}
 	if c.data[n] == nil {
 		return nil, nil
 	}
@@ -299,6 +338,9 @@ func (c *Chip) EraseBlock(b int) error {
 	c.next[b] = 0
 	c.wear[b]++
 	c.stats.BlockErases++
+	if c.obsErases != nil {
+		c.obsErases.Inc()
+	}
 	return nil
 }
 

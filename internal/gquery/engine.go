@@ -1,0 +1,111 @@
+package gquery
+
+import (
+	"time"
+
+	"pds/internal/netsim"
+	"pds/internal/obs"
+	"pds/internal/privcrypto"
+	"pds/internal/ssi"
+)
+
+// Engine is the option-based execution surface of the Part III protocol
+// family, replacing the Run*/Run*Cfg twin sprawl:
+//
+//	res, stats, err := gquery.New(
+//		gquery.WithWorkers(8),
+//		gquery.WithFaults(&plan),
+//		gquery.WithObserver(reg),
+//	).SecureAgg(net, srv, parts, kr, chunkSize)
+//
+// An Engine is immutable after New and safe to reuse across runs; each run
+// still gets its own observability epoch.
+type Engine struct {
+	cfg RunConfig
+}
+
+// Option configures an Engine.
+type Option func(*RunConfig)
+
+// New builds an engine. With no options it is the paper-faithful serial
+// schedule (one token at a time, clean wire).
+func New(opts ...Option) *Engine {
+	cfg := Serial()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Engine{cfg: cfg}
+}
+
+// WithWorkers bounds the simulated token fleet: 0 means every core,
+// 1 (the default) is the serial paper baseline.
+func WithWorkers(n int) Option {
+	return func(c *RunConfig) { c.Workers = n }
+}
+
+// WithFaults arms the netsim fault plane with the seeded schedule and
+// routes every protocol leg over reliable ARQ links.
+func WithFaults(plan *netsim.FaultPlan) Option {
+	return func(c *RunConfig) { c.Faults = plan }
+}
+
+// WithRetries bounds retransmissions per frame under WithFaults;
+// <= 0 selects netsim.DefaultMaxRetries.
+func WithRetries(n int) Option {
+	return func(c *RunConfig) { c.MaxRetries = n }
+}
+
+// WithBackoff sets the base simulated retransmission wait under
+// WithFaults; <= 0 selects netsim.DefaultBackoff.
+func WithBackoff(d time.Duration) Option {
+	return func(c *RunConfig) { c.Backoff = d }
+}
+
+// WithObserver merges every run's metrics and spans into reg at the end of
+// the run — the hook pdsbench uses to collect one snapshot across a whole
+// experiment.
+func WithObserver(reg *obs.Registry) Option {
+	return func(c *RunConfig) { c.observer = reg }
+}
+
+// WithConfig adopts a legacy RunConfig wholesale (bridge for callers still
+// holding one).
+func WithConfig(cfg RunConfig) Option {
+	return func(c *RunConfig) {
+		observer := c.observer
+		*c = cfg
+		if c.observer == nil {
+			c.observer = observer
+		}
+	}
+}
+
+// Config returns the engine's resolved configuration.
+func (e *Engine) Config() RunConfig { return e.cfg }
+
+// SecureAgg runs the secure-aggregation protocol (non-deterministic
+// encryption, blind partitioning, worker-token aggregation).
+func (e *Engine) SecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	chunkSize int) (Result, RunStats, error) {
+	return RunSecureAggCfg(net, srv, parts, kr, chunkSize, e.cfg)
+}
+
+// Noise runs the noise-based protocol (deterministic grouping attribute +
+// fake tuples).
+func (e *Engine) Noise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
+	return RunNoiseCfg(net, srv, parts, kr, domain, noisePerTuple, kind, seed, e.cfg)
+}
+
+// Histogram runs the histogram-based protocol (equi-depth buckets).
+func (e *Engine) Histogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	buckets []Bucket) (BucketResult, RunStats, error) {
+	return RunHistogramCfg(net, srv, parts, kr, buckets, e.cfg)
+}
+
+// PaillierAgg runs the additively homomorphic protocol (the SSI aggregates
+// ciphertexts itself; only per-group sums visit the decryption token).
+func (e *Engine) PaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey) (Result, RunStats, error) {
+	return RunPaillierAggCfg(net, srv, parts, kr, pk, sk, e.cfg)
+}

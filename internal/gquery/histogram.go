@@ -89,6 +89,8 @@ type BucketResult map[int]GroupAgg
 // group; the SSI partitions by bucket id — the only thing it learns — and
 // each bucket goes to a token that returns the bucket aggregate. The
 // result is coarse: per bucket, not per group (see EstimateGroups).
+//
+// Deprecated: use New().Histogram.
 func RunHistogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
 	buckets []Bucket) (BucketResult, RunStats, error) {
 	return RunHistogramCfg(net, srv, parts, kr, buckets, Serial())
@@ -97,6 +99,8 @@ func RunHistogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr 
 // RunHistogramCfg is RunHistogram with an explicit execution config: the
 // per-bucket token aggregation fans out over cfg.Workers concurrent
 // tokens, scheduled in bucket-id order so results match the serial run.
+//
+// Deprecated: use New(WithConfig(cfg)).Histogram.
 func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
 	buckets []Bucket, cfg RunConfig) (BucketResult, RunStats, error) {
 
@@ -107,7 +111,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	if len(buckets) == 0 {
 		return nil, stats, fmt.Errorf("gquery: no buckets")
 	}
-	tp := newTransport(net, cfg)
+	tp := newTransport(net, cfg, "histogram")
 	defer tp.close()
 
 	// Collection: bucket id rides in clear, everything else encrypted.
@@ -138,6 +142,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	}
 	// Phase barrier: delayed uploads surface before partitioning.
 	tp.barrier(srv.Receive)
+	tp.phase(PhasePartition)
 
 	chunks, err := srv.Partition(1 << 30)
 	if err != nil {
@@ -157,6 +162,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		}
 	}
 	stats.Chunks = len(byBucket)
+	tp.phase(PhaseTokenFold)
 
 	// Aggregation per bucket, fanned out over the token fleet in sorted
 	// bucket order so folding is deterministic.
@@ -228,13 +234,13 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		}
 	}
 
+	tp.phase(PhaseMerge)
 	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, nil)
 	if idSum != wantID || count != wantCount {
 		stats.Detected = true
 	}
-	tp.fold(&stats)
-	stats.Net = net.Stats()
+	tp.finish(&stats)
 	if stats.Detected {
 		return res, stats, detectionError("histogram", stats)
 	}

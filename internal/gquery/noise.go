@@ -46,6 +46,8 @@ func (k NoiseKind) String() string {
 // token that discards fakes and aggregates. noisePerTuple fakes are
 // injected per true tuple (fractional values are rounded stochastically).
 // Results are exact; leakage is the noised frequency histogram.
+//
+// Deprecated: use New().Noise.
 func RunNoise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
 	return RunNoiseCfg(net, srv, parts, kr, domain, noisePerTuple, kind, seed, Serial())
@@ -55,6 +57,8 @@ func RunNoise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Key
 // token aggregation fans out over cfg.Workers concurrent tokens. Groups
 // are scheduled in sorted deterministic order and partials folded in that
 // order, so results match the serial run.
+//
+// Deprecated: use New(WithConfig(cfg)).Noise.
 func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64, cfg RunConfig) (Result, RunStats, error) {
 
@@ -67,7 +71,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	}
 	rng := rand.New(rand.NewSource(seed))
 	fakesPer := map[string]int{}
-	tp := newTransport(net, cfg)
+	tp := newTransport(net, cfg, "noise")
 	defer tp.close()
 
 	// Collection: true tuples first, then fakes, under one id sequence.
@@ -125,6 +129,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 
 	// Phase barrier: delayed uploads surface before grouping.
 	tp.barrier(srv.Receive)
+	tp.phase(PhasePartition)
 
 	// The SSI groups by equal deterministic ciphertext — its whole
 	// advantage, and its whole leakage.
@@ -147,6 +152,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 		}
 	}
 	stats.Chunks = len(groups)
+	tp.phase(PhaseTokenFold)
 
 	// Aggregation: one token call per observed group, fanned out over the
 	// fleet. Schedule groups in sorted order so worker assignment and
@@ -234,14 +240,14 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	}
 
 	// Merge + integrity check.
+	tp.phase(PhaseMerge)
 	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, fakesPer)
 	res, detected := mergePartials(partials, wantID, wantCount)
 	if detected {
 		stats.Detected = true
 	}
-	tp.fold(&stats)
-	stats.Net = net.Stats()
+	tp.finish(&stats)
 	if stats.Detected {
 		return res, stats, detectionError("noise", stats)
 	}

@@ -1,0 +1,125 @@
+package gquery
+
+import (
+	"time"
+
+	"pds/internal/netsim"
+	"pds/internal/obs"
+)
+
+// Protocol-level metric families. Together with the netsim_* families the
+// network mirrors while a run's registry is attached, they make RunStats
+// fully derivable from an obs snapshot.
+const (
+	MetricChunks      = "gquery_chunks_total"
+	MetricWorkerCalls = "gquery_worker_calls_total"
+	MetricMACFailures = "gquery_mac_failures_total"
+	MetricFakeTuples  = "gquery_fake_tuples_total"
+	MetricDetected    = "gquery_detected_total"
+)
+
+// Span names of the protocol phases, in execution order.
+const (
+	PhaseCollect   = "collect-encrypt"
+	PhasePartition = "ssi-partition"
+	PhaseTokenFold = "token-fold"
+	PhaseMerge     = "merge-verify"
+)
+
+// runObs scopes one protocol run's observability: a run-local registry is
+// installed as the network's observer for the duration of the run, so the
+// netsim_* counters it accumulates belong to exactly this run; at detach
+// the previous observer is restored and the run's metrics are merged into
+// it (and into the engine's WithObserver registry). Span time advances by
+// the cost model applied to each phase's traffic, plus whatever backoff the
+// reliability layer charges to the clock directly.
+type runObs struct {
+	net  *netsim.Network
+	reg  *obs.Registry // run-local
+	prev *obs.Registry // network observer before the run
+	user *obs.Registry // engine observer (nil, or possibly == prev)
+	cost netsim.CostModel
+
+	root *obs.Span
+	cur  *obs.Span
+	last netsim.Stats
+	done bool
+}
+
+func newRunObs(net *netsim.Network, user *obs.Registry, proto string) *runObs {
+	ro := &runObs{
+		net:  net,
+		reg:  obs.NewRegistry(),
+		prev: net.Observer(),
+		user: user,
+		cost: netsim.DefaultCostModel(),
+	}
+	net.SetObserver(ro.reg)
+	ro.root = ro.reg.Tracer().Start("gquery/"+proto, nil)
+	ro.cur = ro.reg.Tracer().Start(PhaseCollect, ro.root)
+	return ro
+}
+
+// traffic reads the run-local wire counters.
+func (ro *runObs) traffic() netsim.Stats {
+	return netsim.Stats{
+		Messages: ro.reg.CounterValue(netsim.MetricMessages),
+		Bytes:    ro.reg.CounterValue(netsim.MetricBytes),
+	}
+}
+
+// tick advances the simulated clock by the cost of the traffic since the
+// last tick, so span durations reflect wire time.
+func (ro *runObs) tick() {
+	cur := ro.traffic()
+	delta := netsim.Stats{Messages: cur.Messages - ro.last.Messages, Bytes: cur.Bytes - ro.last.Bytes}
+	ro.reg.Clock().Advance(delta.Time(ro.cost))
+	ro.last = cur
+}
+
+// phase closes the current phase span and opens the next.
+func (ro *runObs) phase(name string) {
+	ro.tick()
+	ro.cur.End()
+	ro.cur = ro.reg.Tracer().Start(name, ro.root)
+}
+
+// finish mirrors the protocol outcome into counters and re-derives the
+// cost side of RunStats — wire traffic and reliability overhead — from the
+// run registry instead of the legacy per-struct accounting.
+func (ro *runObs) finish(stats *RunStats) {
+	ro.tick()
+	reg := ro.reg
+	reg.Counter(MetricChunks).Add(int64(stats.Chunks))
+	reg.Counter(MetricWorkerCalls).Add(int64(stats.WorkerCalls))
+	reg.Counter(MetricMACFailures).Add(int64(stats.MACFailures))
+	reg.Counter(MetricFakeTuples).Add(int64(stats.FakeTuples))
+	if stats.Detected {
+		reg.Counter(MetricDetected).Inc()
+	}
+	stats.Net = ro.traffic()
+	stats.Retransmits = int(reg.CounterValue(netsim.MetricRelRetrans))
+	stats.AckMessages = int(reg.CounterValue(netsim.MetricRelAcks))
+	stats.TagFailures = int(reg.CounterValue(netsim.MetricRelTagFail))
+	stats.RetryBackoff = time.Duration(reg.CounterValue(netsim.MetricRelBackoffNS))
+}
+
+// detach ends the run's observability epoch: close open spans, hand the
+// network back to the pre-run observer, and roll the run's metrics up into
+// it and the engine's registry. Idempotent; runs on every exit path.
+func (ro *runObs) detach() {
+	if ro.done {
+		return
+	}
+	ro.done = true
+	ro.tick()
+	ro.cur.End()
+	ro.root.End()
+	ro.net.SetObserver(ro.prev)
+	if ro.prev != nil {
+		ro.prev.Merge(ro.reg)
+	}
+	if ro.user != nil && ro.user != ro.prev {
+		ro.user.Merge(ro.reg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"pds/internal/netsim"
 	"pds/internal/privcrypto"
@@ -27,8 +28,22 @@ import (
 //
 // Detection: every upload carries a MACed tuple id; the SSI must return
 // the id list with each group so the final token can verify the checksum.
+//
+// Deprecated: use New().PaillierAgg.
 func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
 	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey) (Result, RunStats, error) {
+	return RunPaillierAggCfg(net, srv, parts, kr, pk, sk, Serial())
+}
+
+// RunPaillierAggCfg is RunPaillierAgg with an explicit execution config.
+// The token side is a single final decryption call, so Workers has nothing
+// to fan out; the config contributes the fault plane, the reliable links
+// and the observer. Paillier ciphertexts ride the wire at the key's fixed
+// width (pk.CipherLen), keeping byte-level accounting deterministic.
+//
+// Deprecated: use New(WithConfig(cfg)).PaillierAgg.
+func RunPaillierAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey, cfg RunConfig) (Result, RunStats, error) {
 
 	var stats RunStats
 	if len(parts) == 0 {
@@ -37,9 +52,12 @@ func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, k
 	if pk == nil || sk == nil {
 		return nil, stats, fmt.Errorf("gquery: paillier protocol needs a key pair")
 	}
+	tp := newTransport(net, cfg, "paillier")
+	defer tp.close()
 
 	// Collection: payload = u16 gctLen | gct | u16 idBlobLen | idBlob | vct
 	// where idBlob = (u64 id | mac32) and vct is the Paillier ciphertext.
+	cipherLen := pk.CipherLen()
 	for _, p := range parts {
 		for seq, t := range p.Tuples {
 			if t.Value < 0 {
@@ -57,8 +75,7 @@ func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, k
 			if err != nil {
 				return nil, stats, err
 			}
-			vbytes := vct.Bytes()
-			payload := make([]byte, 0, 4+len(gct)+len(idBlob)+len(vbytes))
+			payload := make([]byte, 0, 4+len(gct)+len(idBlob)+cipherLen)
 			var b2 [2]byte
 			binary.LittleEndian.PutUint16(b2[:], uint16(len(gct)))
 			payload = append(payload, b2[:]...)
@@ -66,10 +83,18 @@ func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, k
 			binary.LittleEndian.PutUint16(b2[:], uint16(len(idBlob)))
 			payload = append(payload, b2[:]...)
 			payload = append(payload, idBlob...)
-			payload = append(payload, vbytes...)
-			srv.Receive(net.Send(netsim.Envelope{From: p.ID, To: "ssi", Kind: "tuple", Payload: payload}))
+			off := len(payload)
+			payload = payload[:off+cipherLen]
+			vct.FillBytes(payload[off:])
+			if err := tp.send(netsim.Envelope{From: p.ID, To: "ssi", Kind: "tuple", Payload: payload},
+				srv.Receive); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
+	// Phase barrier: delayed uploads surface before grouping.
+	tp.barrier(srv.Receive)
+	tp.phase(PhasePartition)
 
 	// The SSI groups by det ciphertext and aggregates homomorphically.
 	chunks, err := srv.Partition(1 << 30)
@@ -104,15 +129,28 @@ func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, k
 		}
 	}
 	stats.Chunks = len(groups)
+	tp.phase(PhaseMerge)
 
 	// Final token: decrypt per-group sums, verify every id MAC and the
-	// global checksum.
+	// global checksum. Groups visit the token in sorted key order so the
+	// wire schedule does not depend on map iteration.
+	keys := make([]string, 0, len(groups))
+	for gct := range groups {
+		keys = append(keys, gct)
+	}
+	sort.Strings(keys)
 	res := Result{}
 	var idSum uint64
 	var count int64
-	for gct, acc := range groups {
+	for _, gct := range keys {
+		acc := groups[gct]
 		// One message models the SSI → token hand-over per group.
-		net.Send(netsim.Envelope{From: "ssi", To: parts[0].ID, Kind: "hom-group", Payload: acc.cipher.Bytes()})
+		homPayload := make([]byte, cipherLen)
+		acc.cipher.FillBytes(homPayload)
+		if err := tp.send(netsim.Envelope{From: "ssi", To: parts[0].ID, Kind: "hom-group", Payload: homPayload},
+			nil); err != nil {
+			return nil, stats, err
+		}
 		groupName, err := kr.Det.Decrypt([]byte(gct))
 		if err != nil {
 			stats.MACFailures++
@@ -137,11 +175,12 @@ func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, k
 	}
 	stats.WorkerCalls = 1 // only the final decryption token
 
+	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, nil)
 	if idSum != wantID || count != wantCount {
 		stats.Detected = true
 	}
-	stats.Net = net.Stats()
+	tp.finish(&stats)
 	if stats.Detected {
 		return res, stats, ErrDetected
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pds/internal/netsim"
+	"pds/internal/obs"
 )
 
 // RunConfig parameterizes the execution engine of the Part III protocols.
@@ -33,6 +34,12 @@ type RunConfig struct {
 	// Backoff is the base simulated retransmission wait when Faults is
 	// set, doubling per retry; <= 0 selects netsim.DefaultBackoff.
 	Backoff time.Duration
+
+	// observer, when non-nil, receives the run's metrics and spans merged
+	// in at the end of the run. Set through gquery.WithObserver; every run
+	// records into a run-local registry regardless, so RunStats derivation
+	// does not depend on this being set.
+	observer *obs.Registry
 }
 
 // Serial is the paper-faithful single-token configuration.

@@ -19,6 +19,8 @@ import (
 // grouping information leaks. This entry point runs the paper-faithful
 // serial schedule (one worker token at a time); RunSecureAggCfg fans the
 // aggregation phase out over a token fleet.
+//
+// Deprecated: use New().SecureAgg.
 func RunSecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring, chunkSize int) (Result, RunStats, error) {
 	return RunSecureAggCfg(net, srv, parts, kr, chunkSize, Serial())
 }
@@ -27,6 +29,8 @@ func RunSecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr 
 // aggregation phase runs over cfg.Workers concurrent tokens; partials are
 // merged in chunk order, so Result and RunStats are identical to the
 // serial run on the same inputs.
+//
+// Deprecated: use New(WithConfig(cfg)).SecureAgg.
 func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring, chunkSize int, cfg RunConfig) (Result, RunStats, error) {
 	var stats RunStats
 	if len(parts) == 0 {
@@ -35,7 +39,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	if chunkSize < 1 {
 		return nil, stats, ErrBadChunkSize
 	}
-	tp := newTransport(net, cfg)
+	tp := newTransport(net, cfg, "secure-agg")
 	defer tp.close()
 
 	// Collection phase.
@@ -59,6 +63,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	}
 	// Phase barrier: delayed uploads surface before partitioning.
 	tp.barrier(srv.Receive)
+	tp.phase(PhasePartition)
 
 	// Partition phase (where a weakly-malicious SSI misbehaves).
 	chunks, err := srv.Partition(chunkSize)
@@ -66,6 +71,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		return nil, stats, err
 	}
 	stats.Chunks = len(chunks)
+	tp.phase(PhaseTokenFold)
 
 	// Aggregation phase: the token fleet processes chunks independently.
 	outs := make([]chunkOutcome, len(chunks))
@@ -133,6 +139,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	}
 
 	// Merge phase at the final token.
+	tp.phase(PhaseMerge)
 	finalTo := parts[0].ID
 	for range partials {
 		if err := tp.send(netsim.Envelope{From: "ssi", To: finalTo, Kind: "merge", Payload: nil}, nil); err != nil {
@@ -145,8 +152,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	if detected {
 		stats.Detected = true
 	}
-	tp.fold(&stats)
-	stats.Net = net.Stats()
+	tp.finish(&stats)
 	if stats.Detected {
 		return res, stats, detectionError("secure-agg", stats)
 	}

@@ -18,13 +18,17 @@ type transport struct {
 	rel  netsim.Reliability
 	on   bool
 	prev *netsim.FaultPlane // the network's plane before this run armed its own
+	ro   *runObs
 
 	mu    sync.Mutex
 	links map[string]*netsim.Link
 }
 
-func newTransport(net *netsim.Network, cfg RunConfig) *transport {
-	tp := &transport{net: net, links: map[string]*netsim.Link{}}
+// newTransport opens one run's wire epoch: the run-local observer registry
+// is installed first so the fault plane armed below binds to it and every
+// injected fault of this run is attributed to this run.
+func newTransport(net *netsim.Network, cfg RunConfig, proto string) *transport {
+	tp := &transport{net: net, links: map[string]*netsim.Link{}, ro: newRunObs(net, cfg.observer, proto)}
 	if cfg.Faults != nil {
 		tp.on = true
 		tp.rel = netsim.Reliability{MaxRetries: cfg.MaxRetries, Backoff: cfg.Backoff}
@@ -34,15 +38,23 @@ func newTransport(net *netsim.Network, cfg RunConfig) *transport {
 	return tp
 }
 
-// close ends the run's fault epoch: the plane this run armed (and whatever
-// envelopes it still withholds) is detached from the network and the
-// pre-run plane restored, so a later caller delivering on the same Network
-// does not inherit a stale fault schedule.
+// close ends the run's fault and observability epochs: the plane this run
+// armed (and whatever envelopes it still withholds) is detached from the
+// network and the pre-run plane restored, so a later caller delivering on
+// the same Network does not inherit a stale fault schedule; the run's
+// metrics are rolled up into the pre-run and engine registries.
 func (tp *transport) close() {
 	if tp.on {
 		tp.net.SetFaults(tp.prev)
 	}
+	tp.ro.detach()
 }
+
+// phase marks a protocol phase boundary in the run's trace.
+func (tp *transport) phase(name string) { tp.ro.phase(name) }
+
+// finish derives the cost side of RunStats from the run's registry.
+func (tp *transport) finish(stats *RunStats) { tp.ro.finish(stats) }
 
 // link returns the reliable link carrying one envelope kind, creating it
 // on first use. Per-kind links keep sequence spaces disjoint, mirroring
@@ -87,17 +99,4 @@ func (tp *transport) barrier(rcv func(netsim.Envelope)) {
 		}
 		tp.link(e.Kind).Accept(e, rcv)
 	})
-}
-
-// fold accumulates the reliability cost of every link into stats.
-func (tp *transport) fold(stats *RunStats) {
-	tp.mu.Lock()
-	defer tp.mu.Unlock()
-	for _, l := range tp.links {
-		rs := l.Stats()
-		stats.Retransmits += rs.Retransmits
-		stats.AckMessages += rs.Acks
-		stats.TagFailures += rs.TagFailures
-		stats.RetryBackoff += rs.Backoff
-	}
 }

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // FaultSpec gives the per-envelope fault probabilities for one envelope
@@ -87,6 +88,7 @@ const (
 // fresh.
 type FaultPlane struct {
 	plan FaultPlan
+	obsv atomic.Pointer[netObserver] // bound by Network.SetFaults / SetObserver
 
 	mu    sync.Mutex
 	held  []Envelope           // delayed until the next Flush
@@ -141,14 +143,18 @@ func (fp *FaultPlane) transmit(e Envelope) []Envelope {
 	switch fp.decide(e) {
 	case faultDrop:
 		fp.stats.Dropped++
+		fp.obsv.Load().fault("drop", e.Kind)
 	case faultDuplicate:
 		fp.stats.Duplicated++
+		fp.obsv.Load().fault("duplicate", e.Kind)
 		out = append(out, e, e)
 	case faultDelay:
 		fp.stats.Delayed++
+		fp.obsv.Load().fault("delay", e.Kind)
 		fp.held = append(fp.held, e)
 	case faultReorder:
 		fp.stats.Reordered++
+		fp.obsv.Load().fault("reorder", e.Kind)
 		reordered = true
 	default:
 		out = append(out, e)

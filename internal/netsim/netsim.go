@@ -89,6 +89,7 @@ type netState struct {
 type Network struct {
 	st     atomic.Pointer[netState]
 	faults atomic.Pointer[FaultPlane]
+	obsv   atomic.Pointer[netObserver]
 
 	mu   sync.Mutex // guards tap registration
 	taps atomic.Pointer[[]func(Envelope)]
@@ -113,6 +114,9 @@ func (n *Network) Send(e Envelope) Envelope {
 		c, _ = st.perKind.LoadOrStore(e.Kind, &counter{})
 	}
 	c.(*counter).add(len(e.Payload))
+	if o := n.obsv.Load(); o != nil {
+		o.record(e)
+	}
 	if taps := n.taps.Load(); taps != nil {
 		for _, t := range *taps {
 			t(e)
@@ -138,8 +142,12 @@ func (n *Network) Deliver(e Envelope, rcv func(Envelope)) {
 	}
 }
 
-// SetFaults installs (or, with nil, removes) the fault-injection plane.
+// SetFaults installs (or, with nil, removes) the fault-injection plane and
+// binds the network's observer into it so injected faults are mirrored.
 func (n *Network) SetFaults(fp *FaultPlane) {
+	if fp != nil {
+		fp.obsv.Store(n.obsv.Load())
+	}
 	n.faults.Store(fp)
 }
 

@@ -183,6 +183,7 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 	l.stats.Transfers++
 	l.pending[seq] = deliver
 	l.mu.Unlock()
+	l.net.obsv.Load().rel(MetricRelTransfers, 1)
 	defer func() {
 		l.mu.Lock()
 		delete(l.pending, seq)
@@ -201,10 +202,16 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 		if attempt >= l.cfg.MaxRetries {
 			return &RetryError{Kind: e.Kind, To: e.To, Seq: seq, Attempts: attempt + 1}
 		}
+		wait := l.cfg.Backoff << uint(min(attempt, 16))
 		l.mu.Lock()
 		l.stats.Retransmits++
-		l.stats.Backoff += l.cfg.Backoff << uint(min(attempt, 16))
+		l.stats.Backoff += wait
 		l.mu.Unlock()
+		if o := l.net.obsv.Load(); o != nil {
+			o.rel(MetricRelRetrans, 1)
+			o.rel(MetricRelBackoffNS, int64(wait))
+			o.reg.Clock().Advance(wait)
+		}
 	}
 }
 
@@ -223,6 +230,7 @@ func (l *Link) receive(got Envelope) {
 		l.mu.Lock()
 		l.stats.TagFailures++
 		l.mu.Unlock()
+		l.net.obsv.Load().rel(MetricRelTagFail, 1)
 		return
 	}
 	if fr.ack {
@@ -230,6 +238,7 @@ func (l *Link) receive(got Envelope) {
 		l.stats.Acks++
 		l.acked[fr.seq] = true
 		l.mu.Unlock()
+		l.net.obsv.Load().rel(MetricRelAcks, 1)
 		return
 	}
 	l.mu.Lock()
@@ -258,6 +267,7 @@ func (l *Link) Accept(e Envelope, deliver func(Envelope)) {
 			l.mu.Lock()
 			l.stats.TagFailures++
 			l.mu.Unlock()
+			l.net.obsv.Load().rel(MetricRelTagFail, 1)
 		}
 		return
 	}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterPoint is one counter series in a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge series in a snapshot.
+type GaugePoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketPoint is one histogram bucket: count of observations <= LE, or the
+// overflow bucket when Overflow is set.
+type BucketPoint struct {
+	LE       int64 `json:"le"`
+	Count    int64 `json:"count"`
+	Overflow bool  `json:"overflow,omitempty"`
+}
+
+// HistogramPoint is one histogram series in a snapshot.
+type HistogramPoint struct {
+	Name    string        `json:"name"`
+	Sum     int64         `json:"sum"`
+	Count   int64         `json:"count"`
+	Buckets []BucketPoint `json:"buckets"`
+}
+
+// Snapshot is a point-in-time, fully ordered export of a registry:
+// every series sorted by canonical name, spans by ID. Identical runs
+// produce identical snapshots — the golden tests depend on it.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+	Spans      []SpanRecord     `json:"spans"`
+}
+
+// Snapshot exports the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var snap Snapshot
+	snap.Counters = []CounterPoint{}
+	snap.Gauges = []GaugePoint{}
+	snap.Histograms = []HistogramPoint{}
+	for _, name := range names {
+		m, ok := r.metrics.Load(name)
+		if !ok {
+			continue
+		}
+		switch v := m.(type) {
+		case *Counter:
+			snap.Counters = append(snap.Counters, CounterPoint{Name: name, Value: v.Value()})
+		case *Gauge:
+			snap.Gauges = append(snap.Gauges, GaugePoint{Name: name, Value: v.Value()})
+		case *Histogram:
+			hp := HistogramPoint{Name: name, Sum: v.Sum(), Count: v.Count()}
+			for i := range v.counts {
+				bp := BucketPoint{Count: v.counts[i].v.Load()}
+				if i < len(v.bounds) {
+					bp.LE = v.bounds[i]
+				} else {
+					bp.Overflow = true
+				}
+				hp.Buckets = append(hp.Buckets, bp)
+			}
+			snap.Histograms = append(snap.Histograms, hp)
+		}
+	}
+	snap.Spans = r.tracer.snapshot()
+	if snap.Spans == nil {
+		snap.Spans = []SpanRecord{}
+	}
+	return snap
+}
+
+// JSON renders the snapshot as indented, deterministically ordered JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// JSON exports the registry as a deterministic JSON snapshot.
+func (r *Registry) JSON() ([]byte, error) { return r.Snapshot().JSON() }
+
+// Prometheus renders the snapshot in the Prometheus text exposition style.
+// Spans are not representable there and are omitted.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	typeLine := func(name, kind string) {
+		fam := name
+		if i := strings.IndexByte(fam, '{'); i >= 0 {
+			fam = fam[:i]
+		}
+		if !seen[fam] {
+			seen[fam] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", fam, kind)
+		}
+	}
+	for _, c := range s.Counters {
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		typeLine(h.Name, "histogram")
+		fam, labels := splitName(h.Name)
+		cum := int64(0)
+		for _, bp := range h.Buckets {
+			cum += bp.Count
+			le := fmt.Sprintf("%d", bp.LE)
+			if bp.Overflow {
+				le = "+Inf"
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, withLabel(labels, "le", le), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %d\n", fam, labels, h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", fam, labels, h.Count)
+	}
+	return b.String()
+}
+
+// Prometheus exports the registry in the text exposition style.
+func (r *Registry) Prometheus() string { return r.Snapshot().Prometheus() }
+
+// splitName separates a canonical name into family and the {...} label
+// block ("" when unlabeled).
+func splitName(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// withLabel appends k="v" to a {...} label block (which may be empty).
+func withLabel(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}

@@ -1,0 +1,295 @@
+// Package obs is the observability plane of the reproduction: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) plus span-based tracing under a simulated clock. The paper's
+// evaluation currency — flash page I/O, RAM budgets, messages exchanged
+// with the untrusted SSI, reliability-layer overhead — all flows through
+// one Registry, so every cost table is derived from a single source of
+// truth instead of ad-hoc per-package counters.
+//
+// Two contracts shape the implementation:
+//
+//   - Determinism: under serial execution, two identical runs produce
+//     byte-identical Snapshot JSON. Nothing in the registry draws wall
+//     clock time or randomness; spans are timed by a caller-advanced
+//     SimClock, and exports order every series by canonical name.
+//   - Race-cleanness: counters are sharded atomics (merged on read), so a
+//     parallel token fleet hammering one registry never serializes on the
+//     accounting plane and passes the race detector. Metric *creation* and
+//     span bookkeeping take a mutex; the hot increment path does not.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripeCount shards each counter to keep parallel increments off a single
+// cache line. Totals are exact regardless of how increments spread.
+const stripeCount = 8
+
+// paddedInt64 keeps stripes on separate cache lines.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripeIdx picks a stripe from the address of a caller stack slot —
+// distinct goroutines run on distinct stacks, so concurrent writers tend
+// to land on different stripes without any per-goroutine state.
+func stripeIdx() int {
+	var probe byte
+	return int((uintptr(unsafe.Pointer(&probe)) >> 9) % stripeCount)
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	stripes [stripeCount]paddedInt64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.stripes[stripeIdx()].v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the merged total.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a set-or-adjust metric (RAM occupancy, queue depth, 0/1 flags).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket integer histogram: observation v lands in the
+// first bucket with v <= bound, or the overflow bucket. Bounds are fixed at
+// creation, so snapshots are structurally stable.
+type Histogram struct {
+	bounds []int64
+	counts []paddedInt64 // len(bounds)+1, last is overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].v.Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Registry holds one namespace of metrics plus its tracer and simulated
+// clock. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex // serializes metric creation, Snapshot and Merge
+	metrics sync.Map   // canonical name -> *Counter | *Gauge | *Histogram
+	names   []string   // creation-ordered canonical names (under mu)
+	clock   *SimClock
+	tracer  *Tracer
+}
+
+// NewRegistry creates an empty registry with a fresh simulated clock.
+func NewRegistry() *Registry {
+	r := &Registry{clock: &SimClock{}}
+	r.tracer = &Tracer{clock: r.clock}
+	return r
+}
+
+// Clock returns the registry's simulated clock.
+func (r *Registry) Clock() *SimClock { return r.clock }
+
+// Tracer returns the registry's span tracer.
+func (r *Registry) Tracer() *Tracer { return r.tracer }
+
+// Name builds the canonical series name for a family plus label pairs
+// (alternating key, value), sorted by key: family{k1="v1",k2="v2"}.
+// With no labels it is the family itself.
+func Name(family string, labels ...string) string {
+	if len(labels) == 0 {
+		return family
+	}
+	if len(labels)%2 != 0 {
+		labels = append(labels, "")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the metric registered under key, creating it with mk on
+// first use. The fast path is one lock-free map load.
+func (r *Registry) lookup(key string, mk func() any) any {
+	if m, ok := r.metrics.Load(key); ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics.Load(key); ok {
+		return m
+	}
+	m := mk()
+	r.metrics.Store(key, m)
+	r.names = append(r.names, key)
+	return m
+}
+
+// Counter returns (creating on first use) the counter named
+// Name(family, labels...). Registering the same name as a different metric
+// kind panics: that is a programming error, not a runtime condition.
+func (r *Registry) Counter(family string, labels ...string) *Counter {
+	m := r.lookup(Name(family, labels...), func() any { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic("obs: " + Name(family, labels...) + " already registered with a different kind")
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge named Name(family, labels...).
+func (r *Registry) Gauge(family string, labels ...string) *Gauge {
+	m := r.lookup(Name(family, labels...), func() any { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic("obs: " + Name(family, labels...) + " already registered with a different kind")
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram named
+// Name(family, labels...) with the given bucket upper bounds (ascending).
+// Bounds are fixed by the first registration.
+func (r *Registry) Histogram(family string, bounds []int64, labels ...string) *Histogram {
+	m := r.lookup(Name(family, labels...), func() any {
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		return &Histogram{bounds: b, counts: make([]paddedInt64, len(b)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic("obs: " + Name(family, labels...) + " already registered with a different kind")
+	}
+	return h
+}
+
+// CounterValue reads a counter's merged total without creating it.
+func (r *Registry) CounterValue(family string, labels ...string) int64 {
+	if m, ok := r.metrics.Load(Name(family, labels...)); ok {
+		if c, ok := m.(*Counter); ok {
+			return c.Value()
+		}
+	}
+	return 0
+}
+
+// GaugeValue reads a gauge without creating it.
+func (r *Registry) GaugeValue(family string, labels ...string) int64 {
+	if m, ok := r.metrics.Load(Name(family, labels...)); ok {
+		if g, ok := m.(*Gauge); ok {
+			return g.Value()
+		}
+	}
+	return 0
+}
+
+// Merge folds o's metrics and spans into r: counters and histograms add,
+// gauges take o's latest value, spans append with rebased ids. Used to
+// roll a run-local registry up into a caller-owned one.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil || o == r {
+		return
+	}
+	snap := o.Snapshot()
+	for _, c := range snap.Counters {
+		r.lookupCounterByKey(c.Name).Add(c.Value)
+	}
+	for _, g := range snap.Gauges {
+		r.lookupGaugeByKey(g.Name).Set(g.Value)
+	}
+	for _, h := range snap.Histograms {
+		bounds := make([]int64, 0, len(h.Buckets))
+		for _, b := range h.Buckets {
+			if !b.Overflow {
+				bounds = append(bounds, b.LE)
+			}
+		}
+		dst := r.lookupHistogramByKey(h.Name, bounds)
+		for i, b := range h.Buckets {
+			if i < len(dst.counts) {
+				dst.counts[i].v.Add(b.Count)
+			}
+		}
+		dst.sum.Add(h.Sum)
+		dst.n.Add(h.Count)
+	}
+	r.tracer.importSpans(snap.Spans)
+}
+
+// lookupCounterByKey resolves a counter by its full canonical name.
+func (r *Registry) lookupCounterByKey(key string) *Counter {
+	m := r.lookup(key, func() any { return &Counter{} })
+	if c, ok := m.(*Counter); ok {
+		return c
+	}
+	panic("obs: merge kind mismatch for " + key)
+}
+
+func (r *Registry) lookupGaugeByKey(key string) *Gauge {
+	m := r.lookup(key, func() any { return &Gauge{} })
+	if g, ok := m.(*Gauge); ok {
+		return g
+	}
+	panic("obs: merge kind mismatch for " + key)
+}
+
+func (r *Registry) lookupHistogramByKey(key string, bounds []int64) *Histogram {
+	m := r.lookup(key, func() any {
+		return &Histogram{bounds: append([]int64(nil), bounds...), counts: make([]paddedInt64, len(bounds)+1)}
+	})
+	if h, ok := m.(*Histogram); ok {
+		return h
+	}
+	panic("obs: merge kind mismatch for " + key)
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SimClock is the simulated time base for spans. It only moves when a
+// caller advances it — typically by the netsim cost model's transfer time
+// or a reliability layer's backoff — so span durations reflect simulated
+// protocol time, never wall clock, and snapshots stay deterministic.
+type SimClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now returns the current simulated time as an offset from the epoch.
+func (c *SimClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored) and
+// returns the new time.
+func (c *SimClock) Advance(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+	return c.now
+}
+
+// SpanRecord is one finished (or still-open) span as it appears in a
+// snapshot. Times are simulated-clock offsets in nanoseconds.
+type SpanRecord struct {
+	ID      int               `json:"id"`
+	Parent  int               `json:"parent"` // 0 = root
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_ns"`
+	EndNS   int64             `json:"end_ns"` // == StartNS for open spans at snapshot time
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records parent/child spans against a SimClock. IDs are assigned
+// in Start order, which is deterministic under serial execution.
+type Tracer struct {
+	clock *SimClock
+
+	mu    sync.Mutex
+	next  int
+	spans []SpanRecord
+}
+
+// Span is a handle to an open span.
+type Span struct {
+	t   *Tracer
+	id  int
+	idx int
+}
+
+// Start opens a span under parent (nil for a root span).
+func (t *Tracer) Start(name string, parent *Span) *Span {
+	now := int64(t.clock.Now())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	pid := 0
+	if parent != nil {
+		pid = parent.id
+	}
+	t.spans = append(t.spans, SpanRecord{ID: id, Parent: pid, Name: name, StartNS: now, EndNS: now})
+	return &Span{t: t, id: id, idx: len(t.spans) - 1}
+}
+
+// End closes the span at the clock's current simulated time.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	now := int64(s.t.clock.Now())
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.idx < len(s.t.spans) {
+		s.t.spans[s.idx].EndNS = now
+	}
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(k, v string) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.idx < len(s.t.spans) {
+		if s.t.spans[s.idx].Attrs == nil {
+			s.t.spans[s.idx].Attrs = map[string]string{}
+		}
+		s.t.spans[s.idx].Attrs[k] = v
+	}
+}
+
+// snapshot copies the span list, sorted by ID.
+func (t *Tracer) snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		if out[i].Attrs != nil {
+			attrs := make(map[string]string, len(out[i].Attrs))
+			for k, v := range out[i].Attrs {
+				attrs[k] = v
+			}
+			out[i].Attrs = attrs
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// importSpans appends foreign spans with IDs rebased past the tracer's
+// current high-water mark, preserving their internal parent links.
+func (t *Tracer) importSpans(spans []SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := t.next
+	maxID := 0
+	for _, sp := range spans {
+		sp.ID += base
+		if sp.Parent != 0 {
+			sp.Parent += base
+		}
+		if sp.ID > maxID {
+			maxID = sp.ID
+		}
+		t.spans = append(t.spans, sp)
+	}
+	if maxID > t.next {
+		t.next = maxID
+	}
+}

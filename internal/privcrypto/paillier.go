@@ -38,6 +38,16 @@ type PaillierPublicKey struct {
 	N2 *big.Int // N^2
 }
 
+// CipherLen returns the fixed byte width of a ciphertext under this key:
+// every c < N² fits in ⌈N².BitLen()/8⌉ bytes. Wire encodings pad to this
+// width (big-endian, via FillBytes) so ciphertext lengths — and with them
+// byte-level traffic accounting — are identical run to run, instead of
+// occasionally one byte shorter when a random ciphertext has leading
+// zero bytes.
+func (pk *PaillierPublicKey) CipherLen() int {
+	return (pk.N2.BitLen() + 7) / 8
+}
+
 // PaillierPrivateKey decrypts. Keys built by GeneratePaillier or
 // PaillierFromPrimes retain the prime factorization and decrypt via the
 // Chinese Remainder Theorem (two half-width exponentiations instead of one

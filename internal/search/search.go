@@ -30,6 +30,17 @@ import (
 	"pds/internal/flash"
 	"pds/internal/logstore"
 	"pds/internal/mcu"
+	"pds/internal/obs"
+)
+
+// Metric families the engine emits on an attached observer. Chain and
+// compact page counters split the pipelined-merge I/O by index regime, the
+// postings counter measures merge work independent of page packing.
+const (
+	MetricQueries      = "search_queries_total"
+	MetricChainPages   = "search_chain_pages_total"
+	MetricCompactPages = "search_compact_pages_total"
+	MetricPostings     = "search_postings_total"
 )
 
 // DocID identifies a document; ids are assigned in strictly increasing
@@ -75,6 +86,20 @@ type Engine struct {
 	pageSize int
 	// compact holds the reorganized postings, if Reorganize has run.
 	compact *compactIndex
+	// obsv mirrors query-path work into a metrics registry when attached.
+	// The engine is single-threaded by design, so a plain field suffices.
+	obsv *obs.Registry
+}
+
+// SetObserver attaches (or, with nil, detaches) a metrics registry; every
+// subsequent query mirrors its pipelined-merge I/O into it.
+func (e *Engine) SetObserver(reg *obs.Registry) { e.obsv = reg }
+
+// count adds d to family on the attached observer, if any.
+func (e *Engine) count(family string, d int64) {
+	if e.obsv != nil && d != 0 {
+		e.obsv.Counter(family).Add(d)
+	}
 }
 
 // NewEngine creates an engine with nbuckets hash buckets. It reserves one
@@ -301,6 +326,7 @@ func (c *cursor) advance() (bool, error) {
 		case phaseChain:
 			if c.next >= 0 {
 				img, err := c.eng.pw.Chip().Page(int(c.next))
+				c.eng.count(MetricChainPages, 1)
 				if err != nil {
 					return false, err
 				}
@@ -337,6 +363,7 @@ func (c *cursor) advance() (bool, error) {
 				return false, nil
 			}
 			triples, err := ci.readPage(c.cpage)
+			c.eng.count(MetricCompactPages, 1)
 			if err != nil {
 				return false, err
 			}
@@ -418,6 +445,13 @@ func (e *Engine) search(keywords []string, topN int, requireAll bool) ([]Result,
 	if topN < 1 {
 		return nil, ErrBadTopN
 	}
+	if e.obsv != nil {
+		mode := "or"
+		if requireAll {
+			mode = "and"
+		}
+		e.obsv.Counter(MetricQueries, "mode", mode).Inc()
+	}
 	// Deduplicate keywords.
 	uniq := make([]string, 0, len(keywords))
 	seen := make(map[string]bool, len(keywords))
@@ -476,6 +510,7 @@ func (e *Engine) search(keywords []string, topN int, requireAll bool) ([]Result,
 					break
 				}
 				score += float64(t.weight) * c.idf
+				e.count(MetricPostings, 1)
 				contributed = true
 				ok, err = c.advance()
 				if err != nil {

@@ -15,6 +15,8 @@ import (
 // crosses a reliable ARQ link, so the protocol still yields the exact sum
 // — or fails with netsim's typed retry error, never a wrong answer. The
 // returned stats expose both the wire cost and the reliability cost.
+//
+// Deprecated: use New(WithFaults(plan), ...).SecureSumOverNetwork.
 func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rng *rand.Rand,
 	plan *netsim.FaultPlan, rel netsim.Reliability) (int64, netsim.Stats, netsim.RelStats, error) {
 

@@ -32,6 +32,8 @@ func ScalarProduct(a, b []int64, sk *privcrypto.PaillierPrivateKey) (int64, *Tra
 // element encryptions (via privcrypto's batch helper) and Bob's
 // Enc(a_i)^{b_i} exponentiations. The protocol transcript and the result
 // are unchanged — only the schedule differs.
+//
+// Deprecated: use New(WithWorkers(workers)).ScalarProduct.
 func ScalarProductCfg(a, b []int64, sk *privcrypto.PaillierPrivateKey, workers int) (int64, *Trace, error) {
 	if len(a) == 0 || len(a) != len(b) {
 		return 0, nil, fmt.Errorf("%w: %d vs %d", ErrVectorLength, len(a), len(b))
@@ -54,9 +56,12 @@ func ScalarProductCfg(a, b []int64, sk *privcrypto.PaillierPrivateKey, workers i
 	if err != nil {
 		return 0, nil, err
 	}
-	for _, c := range encA {
+	// Ciphertexts are accounted at the key's fixed wire width so the
+	// transcript cost is identical run to run (a raw big.Int serialization
+	// is occasionally a byte shorter).
+	for range encA {
 		tr.Messages++
-		tr.Bytes += len(c.Bytes())
+		tr.Bytes += pk.CipherLen()
 	}
 
 	// Bob: Enc(Σ a_i·b_i) = Π Enc(a_i)^{b_i}, re-randomized with Enc(0).
@@ -79,7 +84,7 @@ func ScalarProductCfg(a, b []int64, sk *privcrypto.PaillierPrivateKey, workers i
 
 	// Bob → Alice: the blinded aggregate.
 	tr.Messages++
-	tr.Bytes += len(acc.Bytes())
+	tr.Bytes += pk.CipherLen()
 	dot, err := sk.Decrypt(acc)
 	if err != nil {
 		return 0, nil, err

@@ -95,6 +95,8 @@ func SecureSumSegmented(values []int64, modulus int64, segments int, rng *rand.R
 // once shares and masks are drawn, so they run concurrently. All
 // randomness is drawn serially from rng first, so the result and trace are
 // identical to the serial run with the same seed.
+//
+// Deprecated: use New(WithWorkers(workers)).SecureSumSegmented.
 func SecureSumSegmentedCfg(values []int64, modulus int64, segments int, rng *rand.Rand, workers int) (int64, *Trace, error) {
 	if segments < 1 {
 		return 0, nil, fmt.Errorf("smc: segments must be >= 1, got %d", segments)

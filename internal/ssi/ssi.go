@@ -176,12 +176,25 @@ func (s *Server) Partition(chunkSize int) ([][]netsim.Envelope, error) {
 	return chunks, nil
 }
 
+// MetricCorrupt counts realized SSI misbehaviour, labeled by action
+// (drop | duplicate | forge) — what the covert server actually did, as
+// opposed to the wire faults netsim injects. Emitted on the network's
+// attached observer, so reports can tell dropped-by-SSI apart from
+// dropped-on-the-wire.
+const MetricCorrupt = "ssi_corrupt_total"
+
 // corrupt applies the covert misbehaviour. Each envelope's fate is drawn
 // from a seeded hash of its inbox position rather than a stateful PRNG,
 // so the attack schedule is a pure function of (Behavior, upload order)
 // and replays exactly for debugging a detected run.
 func (s *Server) corrupt(in []netsim.Envelope) []netsim.Envelope {
 	b := s.behavior
+	reg := s.net.Observer()
+	note := func(action string) {
+		if reg != nil {
+			reg.Counter(MetricCorrupt, "action", action).Inc()
+		}
+	}
 	var out []netsim.Envelope
 	for i, e := range in {
 		var idx [8]byte
@@ -189,10 +202,13 @@ func (s *Server) corrupt(in []netsim.Envelope) []netsim.Envelope {
 		r := netsim.HashUniform(b.Seed, []byte("ssi-corrupt"), idx[:])
 		switch {
 		case r < b.DropRate:
+			note("drop")
 			continue
 		case r < b.DropRate+b.DuplicateRate:
+			note("duplicate")
 			out = append(out, e, e)
 		case r < b.DropRate+b.DuplicateRate+b.ForgeRate:
+			note("forge")
 			forged := e
 			forged.Payload = append([]byte(nil), e.Payload...)
 			if len(forged.Payload) > 0 {
