@@ -8,7 +8,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race fuzz cover lint-determinism smoke-metrics bench-part3
+.PHONY: ci build test vet race fuzz cover lint-determinism smoke-metrics smoke-trace bench-part3 bench-snapshot bench-snapshot-ci
+
+# Where `make bench-snapshot` writes the perf snapshot. Committed per PR
+# (BENCH_PR<n>.json) so performance trajectories stay diffable.
+BENCH_OUT ?= BENCH_PR5.json
 
 build:
 	$(GO) build ./...
@@ -50,8 +54,25 @@ smoke-metrics:
 	$(GO) test ./cmd/pdsbench -run '^TestMetricsSnapshotSmoke$$' -count=1
 	$(GO) test ./internal/gquery -run '^TestObserverSnapshotByteIdentical$$' -count=1
 
-ci: vet build test race fuzz cover lint-determinism smoke-metrics
+# End-to-end check of the -trace flag and the pdsctl trace subcommand:
+# the Perfetto export must parse as JSON and every span's parent must
+# resolve within the file.
+smoke-trace:
+	$(GO) test ./cmd/pdsbench -run '^TestTraceExportSmoke$$' -count=1
+	$(GO) test ./cmd/pdsctl -run '^TestCLITraceRoundTrip$$' -count=1
+
+ci: vet build test race fuzz cover lint-determinism smoke-metrics smoke-trace bench-snapshot-ci
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:
 	$(GO) test -run xxx -bench 'E6SecureAgg|E6NoiseControlled|E7Paillier' -benchmem .
+
+# Machine-readable perf snapshot (ns/op, B/op, allocs/op + simulated
+# critical-path and wire totals) for the benchmark-trajectory record.
+bench-snapshot:
+	$(GO) run ./cmd/pdsbench -bench-snapshot $(BENCH_OUT)
+
+# CI flavor: quick sweep to a throwaway artifact, never fails the gate —
+# the point is catching crashes in the harness, not enforcing perf.
+bench-snapshot-ci:
+	-$(GO) run ./cmd/pdsbench -bench-snapshot /tmp/bench-ci.json -quick

@@ -800,3 +800,24 @@ func BenchmarkE16SpatioTemporalQuery(b *testing.B) {
 	}
 	reportIOs(b, alloc.Chip())
 }
+
+// BenchmarkE18SecureAggFaulty is the robustness twin of
+// BenchmarkE6SecureAgg: identical inputs, but the wire injects E18's
+// mixed fault schedule (drop, duplicate, delay, reorder) and every leg
+// crosses the reliable ARQ link. The delta against the clean benchmark is
+// the CPU price of fault tolerance.
+func BenchmarkE18SecureAggFaulty(b *testing.B) {
+	parts := benchE6Parts()
+	kr := benchKeyring(b)
+	cfg := gquery.Serial()
+	cfg.Faults = &netsim.FaultPlan{Seed: 305,
+		Default: netsim.FaultSpec{Drop: 0.08, Duplicate: 0.08, Delay: 0.04, Reorder: 0.04}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := netsim.New()
+		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+		if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

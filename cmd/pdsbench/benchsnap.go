@@ -1,0 +1,343 @@
+// Benchmark-trajectory harness: `pdsbench -bench-snapshot FILE` runs a
+// fixed suite of Part III micro- and protocol benchmarks through
+// testing.Benchmark and writes one machine-readable JSON snapshot
+// (ns/op, B/op, allocs/op, plus simulated-time and wire totals from an
+// observed run). Snapshots are committed per PR (BENCH_PR<n>.json) so
+// performance drifts across the stack's history stay diffable.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"pds/internal/gquery"
+	"pds/internal/netsim"
+	"pds/internal/privcrypto"
+	"pds/internal/smc"
+	"pds/internal/ssi"
+	"pds/internal/workload"
+)
+
+// benchEntry is one benchmark's measurements. The wall-clock numbers come
+// from testing.Benchmark; the simulated numbers from a separate observed
+// run of the same workload (zero for pure CPU benchmarks with no wire).
+type benchEntry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SimCriticalNS is the critical-path total of one observed run's span
+	// tree: the simulated time the protocol cannot go below regardless of
+	// token-fleet parallelism.
+	SimCriticalNS int64 `json:"sim_critical_ns,omitempty"`
+	WireMessages  int64 `json:"wire_messages,omitempty"`
+	WireBytes     int64 `json:"wire_bytes,omitempty"`
+}
+
+// benchSnapshot is the file format of `make bench-snapshot`.
+type benchSnapshot struct {
+	Suite      string       `json:"suite"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// simTotals carries the simulated-cost side of one observed run.
+type simTotals struct {
+	criticalNS int64
+	messages   int64
+	bytes      int64
+}
+
+// benchSpec pairs a wall-clock benchmark body with an optional
+// simulated-cost probe.
+type benchSpec struct {
+	name string
+	run  func(b *testing.B)
+	sim  func() (simTotals, error)
+}
+
+const benchSnapSeed = 42
+
+// e18Plan is the mixed fault schedule of experiment E18, reused verbatim
+// so the faulty benchmarks and runE18 measure the same adversary.
+func e18Plan() *netsim.FaultPlan {
+	return &netsim.FaultPlan{Seed: 305, Default: netsim.FaultSpec{Drop: 0.08, Duplicate: 0.08, Delay: 0.04, Reorder: 0.04}}
+}
+
+// gquerySim runs one observed protocol execution and extracts the
+// simulated totals from its stats.
+func gquerySim(cfg gquery.RunConfig, run func(net *netsim.Network, srv *ssi.Server, parts []gquery.Participant,
+	kr *gquery.Keyring, cfg gquery.RunConfig) (gquery.RunStats, error), n int) (simTotals, error) {
+
+	parts := workload.Participants(n, 3, benchSnapSeed)
+	kr, err := gquery.KeyringFrom(make([]byte, 32))
+	if err != nil {
+		return simTotals{}, err
+	}
+	net := netsim.New()
+	srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+	stats, err := run(net, srv, parts, kr, cfg)
+	if err != nil {
+		return simTotals{}, err
+	}
+	return simTotals{
+		criticalNS: stats.CriticalPath.TotalNS,
+		messages:   stats.Net.Messages,
+		bytes:      stats.Net.Bytes,
+	}, nil
+}
+
+func secureAggRun(net *netsim.Network, srv *ssi.Server, parts []gquery.Participant,
+	kr *gquery.Keyring, cfg gquery.RunConfig) (gquery.RunStats, error) {
+	_, stats, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, cfg)
+	return stats, err
+}
+
+func noiseRun(net *netsim.Network, srv *ssi.Server, parts []gquery.Participant,
+	kr *gquery.Keyring, cfg gquery.RunConfig) (gquery.RunStats, error) {
+	_, stats, err := gquery.RunNoiseCfg(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1, cfg)
+	return stats, err
+}
+
+func histogramRun(net *netsim.Network, srv *ssi.Server, parts []gquery.Participant,
+	kr *gquery.Keyring, cfg gquery.RunConfig) (gquery.RunStats, error) {
+	buckets, err := gquery.EquiDepthBuckets(workload.Diagnoses, nil, 4)
+	if err != nil {
+		return gquery.RunStats{}, err
+	}
+	_, stats, err := gquery.RunHistogramCfg(net, srv, parts, kr, buckets, cfg)
+	return stats, err
+}
+
+// benchSuite builds the benchmark roster. quick shrinks participant
+// counts so CI stays fast; the entry names do not change, keeping
+// trajectories comparable within a -quick or full lineage.
+func benchSuite(quick bool) ([]benchSpec, error) {
+	n := 200
+	if quick {
+		n = 80
+	}
+	kr, err := gquery.KeyringFrom(make([]byte, 32))
+	if err != nil {
+		return nil, err
+	}
+	parts := workload.Participants(n, 3, benchSnapSeed)
+	buckets, err := gquery.EquiDepthBuckets(workload.Diagnoses, nil, 4)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := privcrypto.GeneratePaillier(512, nil)
+	if err != nil {
+		return nil, err
+	}
+	pk := &sk.PaillierPublicKey
+	cipher, err := pk.EncryptInt64(123456789, nil)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 30)
+	}
+
+	specs := []benchSpec{
+		{
+			name: "E6SecureAgg",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					net := netsim.New()
+					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+					if _, _, err := gquery.RunSecureAgg(net, srv, parts, kr, 64); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			sim: func() (simTotals, error) { return gquerySim(gquery.Serial(), secureAggRun, n) },
+		},
+		{
+			name: "E6SecureAggParallel",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					net := netsim.New()
+					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+					if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Parallel()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			sim: func() (simTotals, error) { return gquerySim(gquery.Parallel(), secureAggRun, n) },
+		},
+		{
+			name: "E6NoiseControlled",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					net := netsim.New()
+					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+					if _, _, err := gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1,
+						gquery.ControlledNoise, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			sim: func() (simTotals, error) { return gquerySim(gquery.Serial(), noiseRun, n) },
+		},
+		{
+			name: "E6Histogram",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					net := netsim.New()
+					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+					if _, _, err := gquery.RunHistogram(net, srv, parts, kr, buckets); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			sim: func() (simTotals, error) { return gquerySim(gquery.Serial(), histogramRun, n) },
+		},
+		{
+			name: "E7SecureSum",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r := rand.New(rand.NewSource(1))
+					if _, _, err := smc.SecureSum(vals, 1<<40, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "E7PaillierEncryptPooled",
+			run: func(b *testing.B) {
+				pool, err := pk.NewRandomizerPool(b.N, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pool.EncryptInt64(int64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "E7PaillierDecryptCRT",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sk.Decrypt(cipher); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "E7PaillierDecryptTextbook",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sk.DecryptTextbook(cipher); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "E18SecureAggFaulty",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					net := netsim.New()
+					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+					cfg := gquery.Serial()
+					cfg.Faults = e18Plan()
+					if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			sim: func() (simTotals, error) {
+				cfg := gquery.Serial()
+				cfg.Faults = e18Plan()
+				return gquerySim(cfg, secureAggRun, n)
+			},
+		},
+		{
+			name: "E18HistogramFaulty",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					net := netsim.New()
+					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+					cfg := gquery.Serial()
+					cfg.Faults = e18Plan()
+					if _, _, err := gquery.RunHistogramCfg(net, srv, parts, kr, buckets, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			sim: func() (simTotals, error) {
+				cfg := gquery.Serial()
+				cfg.Faults = e18Plan()
+				return gquerySim(cfg, histogramRun, n)
+			},
+		},
+	}
+	return specs, nil
+}
+
+// runBenchSnapshot executes the suite and writes the snapshot to path
+// ('-' = stdout).
+func runBenchSnapshot(path string, quick bool) error {
+	specs, err := benchSuite(quick)
+	if err != nil {
+		return err
+	}
+	snap := benchSnapshot{
+		Suite:      "pds-part23",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	for _, spec := range specs {
+		fmt.Fprintf(os.Stderr, "bench %-28s ", spec.name)
+		body := spec.run
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			body(b)
+		})
+		entry := benchEntry{
+			Name:        spec.name,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if spec.sim != nil {
+			st, err := spec.sim()
+			if err != nil {
+				return fmt.Errorf("%s: sim probe: %w", spec.name, err)
+			}
+			entry.SimCriticalNS = st.criticalNS
+			entry.WireMessages = st.messages
+			entry.WireBytes = st.bytes
+		}
+		snap.Benchmarks = append(snap.Benchmarks, entry)
+		fmt.Fprintf(os.Stderr, "%10d ns/op %8d B/op %6d allocs/op\n",
+			int64(entry.NsPerOp), entry.BytesPerOp, entry.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -10,6 +10,8 @@
 //	pdsbench -exp E1,E6       # run a subset
 //	pdsbench -quick           # smaller sweeps (CI-friendly)
 //	pdsbench -metrics m.json  # also dump the obs metrics snapshot ('-' = stdout)
+//	pdsbench -trace t.json    # also dump the span tree as Perfetto JSON
+//	pdsbench -bench-snapshot BENCH.json  # run the benchmark suite, write a perf snapshot, exit
 package main
 
 import (
@@ -63,7 +65,17 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e.g. E1,E6) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced sweeps")
 	metrics := flag.String("metrics", "", "write the obs metrics snapshot as JSON to this file ('-' = stdout)")
+	trace := flag.String("trace", "", "write the span tree as Chrome trace-event / Perfetto JSON to this file ('-' = stdout)")
+	benchSnap := flag.String("bench-snapshot", "", "run the benchmark suite and write a machine-readable perf snapshot to this file, then exit")
 	flag.Parse()
+
+	if *benchSnap != "" {
+		if err := runBenchSnapshot(*benchSnap, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *expFlag != "all" {
@@ -72,7 +84,7 @@ func main() {
 		}
 	}
 	cfg := config{quick: *quick}
-	if *metrics != "" {
+	if *metrics != "" || *trace != "" {
 		cfg.obs = obs.NewRegistry()
 	}
 	ran := 0
@@ -99,9 +111,17 @@ func main() {
 		os.Exit(2)
 	}
 	if cfg.obs != nil {
-		if err := writeMetrics(*metrics, cfg.obs); err != nil {
-			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
-			os.Exit(1)
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, cfg.obs); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *trace != "" {
+			if err := writeTrace(*trace, cfg.obs); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 }
@@ -109,6 +129,20 @@ func main() {
 // writeMetrics dumps the registry snapshot as JSON to path ('-' = stdout).
 func writeMetrics(path string, reg *obs.Registry) error {
 	data, err := reg.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// writeTrace dumps the registry's span tree as Chrome trace-event /
+// Perfetto JSON to path ('-' = stdout).
+func writeTrace(path string, reg *obs.Registry) error {
+	data, err := reg.Snapshot().PerfettoJSON()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pds/internal/obs"
+)
+
+// TestTraceExportSmoke runs the Part III experiment under an attached
+// registry — the same wiring as `pdsbench -trace` — and asserts the
+// Perfetto export parses as JSON and every span's parent id resolves
+// within the file.
+func TestTraceExportSmoke(t *testing.T) {
+	cfg := config{quick: true, obs: obs.NewRegistry()}
+
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	stdout := os.Stdout
+	os.Stdout = null
+	errE6 := runE6(cfg)
+	os.Stdout = stdout
+	if errE6 != nil {
+		t.Fatalf("E6 failed: %v", errE6)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTrace(path, cfg.obs); err != nil {
+		t.Fatalf("writeTrace: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents     []obs.TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	ids := map[string]bool{}
+	var spans, metadata int
+	for _, ev := range file.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			metadata++
+		case "X", "i":
+			spans++
+			ids[ev.Args["id"]] = true
+		default:
+			t.Errorf("unexpected event phase %q", ev.Phase)
+		}
+	}
+	if spans == 0 || metadata == 0 {
+		t.Fatalf("spans=%d metadata=%d, want both > 0", spans, metadata)
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Phase != "X" && ev.Phase != "i" {
+			continue
+		}
+		if p := ev.Args["parent"]; p != "" && !ids[p] {
+			t.Errorf("span %q parent %s unresolved within the file", ev.Name, p)
+		}
+	}
+	// The protocol roots from all three E6 sub-runs must be present.
+	want := map[string]bool{"gquery/secure-agg": false, "gquery/noise": false, "gquery/histogram": false}
+	for _, ev := range file.TraceEvents {
+		if _, ok := want[ev.Name]; ok && ev.Phase != "M" {
+			want[ev.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no %s root span in trace", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -67,5 +68,68 @@ func TestCLIBadFlagExitsNonzero(t *testing.T) {
 	}
 	if stderr.Len() == 0 {
 		t.Error("flag error not reported to stderr")
+	}
+}
+
+// TestCLITraceRoundTrip drives `trace secure-agg` end to end and checks
+// the output is a well-formed Perfetto trace: valid JSON, non-empty, and
+// every span's parent id resolves to another span in the same file.
+func TestCLITraceRoundTrip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{"-c", "trace secure-agg"}, strings.NewReader(""), &stdout, &stderr, false)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &file); err != nil {
+		t.Fatalf("trace output is not JSON: %v", err)
+	}
+	ids := map[string]bool{"0": true}
+	spans := 0
+	for _, ev := range file.TraceEvents {
+		if ev.Phase == "X" || ev.Phase == "i" {
+			spans++
+			ids[ev.Args["id"]] = true
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace contains no span events")
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Phase != "X" && ev.Phase != "i" {
+			continue
+		}
+		if p := ev.Args["parent"]; p != "" && !ids[p] {
+			t.Errorf("span %q parent %s does not resolve in the file", ev.Name, p)
+		}
+	}
+	sawFold := false
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "token-fold" {
+			sawFold = true
+		}
+	}
+	if !sawFold {
+		t.Error("trace has no token-fold span")
+	}
+}
+
+// TestCLITraceUsage pins the argument validation of the trace command.
+func TestCLITraceUsage(t *testing.T) {
+	sh := newShell()
+	if _, err := sh.exec("trace"); err == nil {
+		t.Error("bare trace accepted")
+	}
+	if _, err := sh.exec("trace no-such-protocol"); err == nil {
+		t.Error("unknown experiment accepted")
 	}
 }

@@ -47,7 +47,7 @@ func (s *shell) exec(line string) (string, error) {
 		return "", nil
 	}
 	cmd, args := fields[0], fields[1:]
-	if cmd != "new" && cmd != "help" && cmd != "quit" && cmd != "exit" && s.pds == nil {
+	if cmd != "new" && cmd != "help" && cmd != "quit" && cmd != "exit" && cmd != "trace" && s.pds == nil {
 		return "", errors.New("no PDS yet: run `new <owner> [profile]` first")
 	}
 	switch cmd {
@@ -87,6 +87,8 @@ func (s *shell) exec(line string) (string, error) {
 		return s.cmdStats()
 	case "metrics":
 		return s.cmdMetrics(args)
+	case "trace":
+		return s.cmdTrace(args)
 	default:
 		return "", fmt.Errorf("unknown command %q (try `help`)", cmd)
 	}
@@ -109,6 +111,7 @@ const helpText = `commands:
   audit                                          show & verify the audit chain
   stats                                          device counters
   metrics [json]                                 obs snapshot (Prometheus text or JSON)
+  trace <secure-agg|noise|histogram>             canned protocol run as Perfetto JSON
   quit`
 
 func (s *shell) cmdNew(args []string) (string, error) {
@@ -147,6 +150,7 @@ func (s *shell) cmdNew(args []string) (string, error) {
 	p.Device.Chip.SetObserver(s.pds.obs)
 	p.DB.SetObserver(s.pds.obs)
 	p.Docs.SetObserver(s.pds.obs)
+	p.Guard.Observe(s.pds.obs)
 	return fmt.Sprintf("PDS %q ready on %s (%d KiB RAM, %d MiB flash)",
 		p.ID, p.Device.Profile.Name, p.Device.Profile.RAM>>10,
 		p.Device.Profile.Geometry.TotalBytes()>>20), nil
@@ -455,7 +459,7 @@ func (s *shell) cmdAudit() (string, error) {
 			e.Seq, verdict, e.Request.Subject, e.Request.Role,
 			e.Request.Action, e.Request.Collection, e.Request.Purpose)
 	}
-	if i := acl.Verify(entries); i >= 0 {
+	if i := s.pds.p.Guard.VerifyChain(); i >= 0 {
 		fmt.Fprintf(&b, "chain BROKEN at entry %d\n", i)
 	} else {
 		fmt.Fprintf(&b, "chain intact (%d entries)\n", len(entries))

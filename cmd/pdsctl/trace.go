@@ -1,0 +1,56 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pds/internal/gquery"
+	"pds/internal/netsim"
+	"pds/internal/obs"
+	"pds/internal/ssi"
+	"pds/internal/workload"
+)
+
+// cmdTrace runs one canned Part III protocol under a fresh observability
+// registry and prints the span tree as Chrome trace-event / Perfetto JSON
+// — paste it into ui.perfetto.dev (or chrome://tracing) to see the causal
+// structure: the querier phases, each ssi-dispatch, and the token folds
+// they triggered. The run is independent of the shell's PDS: it simulates
+// a small participant fleet on its own network.
+func (s *shell) cmdTrace(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", errors.New("usage: trace <secure-agg|noise|histogram>")
+	}
+	reg := obs.NewRegistry()
+	parts := workload.Participants(8, 2, 42)
+	kr, err := gquery.KeyringFrom(make([]byte, 32))
+	if err != nil {
+		return "", err
+	}
+	net := netsim.New()
+	srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+	eng := gquery.New(gquery.WithObserver(reg))
+	switch args[0] {
+	case "secure-agg":
+		_, _, err = eng.SecureAgg(net, srv, parts, kr, 4)
+	case "noise":
+		_, _, err = eng.Noise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1)
+	case "histogram":
+		var buckets []gquery.Bucket
+		buckets, err = gquery.EquiDepthBuckets(workload.Diagnoses, nil, 4)
+		if err == nil {
+			_, _, err = eng.Histogram(net, srv, parts, kr, buckets)
+		}
+	default:
+		return "", fmt.Errorf("unknown experiment %q (want secure-agg, noise or histogram)", args[0])
+	}
+	if err != nil {
+		return "", err
+	}
+	data, err := reg.Snapshot().PerfettoJSON()
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(string(data), "\n"), nil
+}

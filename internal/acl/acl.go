@@ -155,6 +155,18 @@ func NewAuditLog(clock func() time.Time) *AuditLog {
 	return &AuditLog{now: clock}
 }
 
+// SetClock replaces the log's time source for subsequent entries; nil
+// restores time.Now. Already-recorded entries keep their timestamps (and
+// their hashes stay valid — the chain commits to the recorded time).
+func (l *AuditLog) SetClock(clock func() time.Time) {
+	if clock == nil {
+		clock = time.Now
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = clock
+}
+
 func entryHash(prev string, seq int, t time.Time, q Request, allowed bool) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%d|%d|%s|%s|%s|%s|%s|%t",
@@ -213,9 +225,12 @@ func Verify(entries []AuditEntry) int {
 }
 
 // Guard couples a policy with an audit log: every decision is recorded.
+// Observe (see obs.go) optionally mirrors decisions into a metrics
+// registry.
 type Guard struct {
 	Policy *Policy
 	Audit  *AuditLog
+	hook   obsHook
 }
 
 // NewGuard builds a guard with a fresh deny-all policy and empty log.
@@ -227,5 +242,6 @@ func NewGuard() *Guard {
 func (g *Guard) Check(q Request) bool {
 	allowed := g.Policy.Decide(q)
 	g.Audit.Record(q, allowed)
+	g.hook.note(allowed)
 	return allowed
 }

@@ -1,0 +1,74 @@
+// Observability bridge for the policy layer: a guard optionally mirrors
+// every access decision into an obs registry and verifies its audit chain
+// under a span, so the Part I accountability signals line up with the
+// Part III protocol traces on one timeline.
+package acl
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"pds/internal/obs"
+)
+
+// Metric families the guard emits on an attached registry.
+const (
+	// MetricDecisions counts access decisions, labeled allowed="true"|"false".
+	MetricDecisions = "acl_decisions_total"
+	// MetricAuditEntries counts entries appended to the audit chain.
+	MetricAuditEntries = "acl_audit_entries_total"
+)
+
+// obsHook is the guard's (optional, swappable) link into the
+// observability plane.
+type obsHook struct {
+	reg atomic.Pointer[obs.Registry]
+}
+
+// note mirrors one decision into the attached registry, if any.
+func (h *obsHook) note(allowed bool) {
+	reg := h.reg.Load()
+	if reg == nil {
+		return
+	}
+	reg.Counter(MetricDecisions, "allowed", strconv.FormatBool(allowed)).Inc()
+	reg.Counter(MetricAuditEntries).Inc()
+}
+
+// Observe attaches a metrics registry to the guard (nil detaches): every
+// subsequent Check is counted under acl_decisions_total{allowed} and
+// acl_audit_entries_total, and the audit log adopts the registry's
+// simulated clock so audited timelines align with protocol traces.
+func (g *Guard) Observe(reg *obs.Registry) {
+	g.hook.reg.Store(reg)
+	if reg != nil {
+		g.Audit.UseSimClock(reg.Clock())
+	} else {
+		g.Audit.SetClock(nil)
+	}
+}
+
+// VerifyChain verifies the guard's audit chain, recording the check as an
+// "acl/verify-chain" span on the attached registry (plain Verify when none
+// is attached). It returns the index of the first broken entry, -1 if the
+// chain is intact.
+func (g *Guard) VerifyChain() int {
+	entries := g.Audit.Entries()
+	var sp *obs.Span
+	if reg := g.hook.reg.Load(); reg != nil {
+		sp = reg.Tracer().Start("acl/verify-chain", nil)
+		sp.Annotate("entries", strconv.Itoa(len(entries)))
+	}
+	bad := Verify(entries)
+	sp.Annotate("intact", strconv.FormatBool(bad < 0))
+	sp.End()
+	return bad
+}
+
+// UseSimClock drives the audit clock from a simulated trace clock: entry
+// times become offsets from the Unix epoch, matching span timestamps
+// nanosecond for nanosecond.
+func (l *AuditLog) UseSimClock(c *obs.SimClock) {
+	l.SetClock(func() time.Time { return time.Unix(0, 0).UTC().Add(c.Now()) })
+}

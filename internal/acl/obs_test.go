@@ -1,0 +1,111 @@
+package acl
+
+import (
+	"testing"
+	"time"
+
+	"pds/internal/obs"
+)
+
+func guardWithRules() *Guard {
+	g := NewGuard()
+	g.Policy.Add(Rule{Role: "doctor", Collection: "medical/*", Action: ActionP(Read), Purpose: "care", Allow: true})
+	return g
+}
+
+// TestGuardObserveCountsDecisions: with a registry attached, every Check
+// bumps acl_decisions_total{allowed} and acl_audit_entries_total.
+func TestGuardObserveCountsDecisions(t *testing.T) {
+	g := guardWithRules()
+	reg := obs.NewRegistry()
+	g.Observe(reg)
+
+	allowed := g.Check(Request{Subject: "dr-a", Role: "doctor", Collection: "medical/rx", Action: Read, Purpose: "care"})
+	denied := g.Check(Request{Subject: "mk-b", Role: "marketer", Collection: "medical/rx", Action: Read, Purpose: "marketing"})
+	if !allowed || denied {
+		t.Fatalf("policy decisions wrong: allowed=%v denied=%v", allowed, denied)
+	}
+	if got := reg.CounterValue(MetricDecisions, "allowed", "true"); got != 1 {
+		t.Errorf("%s{allowed=true} = %d, want 1", MetricDecisions, got)
+	}
+	if got := reg.CounterValue(MetricDecisions, "allowed", "false"); got != 1 {
+		t.Errorf("%s{allowed=false} = %d, want 1", MetricDecisions, got)
+	}
+	if got := reg.CounterValue(MetricAuditEntries); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricAuditEntries, got)
+	}
+
+	// Detach: no further counting, and the audit clock reverts to wall time.
+	g.Observe(nil)
+	g.Check(Request{Subject: "x", Role: "y", Collection: "z", Action: Write, Purpose: "p"})
+	if got := reg.CounterValue(MetricAuditEntries); got != 2 {
+		t.Errorf("detached guard still counted: %d", got)
+	}
+}
+
+// TestGuardAuditUsesSimClock: an observed guard timestamps audit entries
+// from the registry's simulated clock — epoch plus offset — so the audit
+// chain lines up with span timestamps.
+func TestGuardAuditUsesSimClock(t *testing.T) {
+	g := guardWithRules()
+	reg := obs.NewRegistry()
+	g.Observe(reg)
+	reg.Clock().Advance(42 * time.Millisecond)
+	g.Check(Request{Subject: "dr-a", Role: "doctor", Collection: "medical/rx", Action: Read, Purpose: "care"})
+	entries := g.Audit.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	want := time.Unix(0, 0).UTC().Add(42 * time.Millisecond)
+	if !entries[0].Time.Equal(want) {
+		t.Errorf("audit time = %v, want %v", entries[0].Time, want)
+	}
+	// The chain stays verifiable under the simulated clock.
+	if i := Verify(entries); i >= 0 {
+		t.Errorf("chain broken at %d under sim clock", i)
+	}
+}
+
+// TestGuardVerifyChainSpan: VerifyChain records an acl/verify-chain span
+// with entry count and verdict on the attached registry, and still
+// returns the plain verdict when no registry is attached.
+func TestGuardVerifyChainSpan(t *testing.T) {
+	g := guardWithRules()
+	if got := g.VerifyChain(); got != -1 {
+		t.Fatalf("unobserved VerifyChain = %d, want -1", got)
+	}
+	reg := obs.NewRegistry()
+	g.Observe(reg)
+	g.Check(Request{Subject: "dr-a", Role: "doctor", Collection: "medical/rx", Action: Read, Purpose: "care"})
+	g.Check(Request{Subject: "dr-a", Role: "doctor", Collection: "medical/labs", Action: Read, Purpose: "care"})
+	if got := g.VerifyChain(); got != -1 {
+		t.Fatalf("VerifyChain = %d, want -1", got)
+	}
+	var sp obs.SpanRecord
+	for _, s := range reg.Snapshot().Spans {
+		if s.Name == "acl/verify-chain" {
+			sp = s
+		}
+	}
+	if sp.ID == 0 {
+		t.Fatal("no acl/verify-chain span")
+	}
+	if sp.Attrs["entries"] != "2" || sp.Attrs["intact"] != "true" {
+		t.Errorf("span attrs = %v, want entries=2 intact=true", sp.Attrs)
+	}
+
+	// A tampered chain reports the break and annotates intact=false.
+	g.Audit.entries[0].Allowed = !g.Audit.entries[0].Allowed
+	if got := g.VerifyChain(); got != 0 {
+		t.Errorf("tampered VerifyChain = %d, want 0", got)
+	}
+	found := false
+	for _, s := range reg.Snapshot().Spans {
+		if s.Name == "acl/verify-chain" && s.Attrs["intact"] == "false" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tampered verification not annotated intact=false")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pds/internal/netsim"
+	"pds/internal/obs"
 	"pds/internal/privcrypto"
 	"pds/internal/ssi"
 )
@@ -159,6 +160,10 @@ type RunStats struct {
 	AckMessages  int           // acknowledgement frames received
 	TagFailures  int           // frames rejected by the transport integrity tag
 	RetryBackoff time.Duration // simulated time spent backing off between retries
+
+	// CriticalPath is the critical-path report over the run's span tree:
+	// longest dependency chain vs. parallel slack, broken down by phase.
+	CriticalPath obs.CriticalPath
 }
 
 // Protocol errors.

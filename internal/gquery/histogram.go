@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"pds/internal/netsim"
+	"pds/internal/obs"
 	"pds/internal/ssi"
 )
 
@@ -143,6 +145,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	// Phase barrier: delayed uploads surface before partitioning.
 	tp.barrier(srv.Receive)
 	tp.phase(PhasePartition)
+	srv.BindTrace(tp.ro.curCtx())
 
 	chunks, err := srv.Partition(1 << 30)
 	if err != nil {
@@ -182,9 +185,16 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	cfg.forEachChunk(len(ids), func(i int) {
 		w := parts[i%len(parts)].ID
 		out := &outs[i]
+		disp := tp.ro.span("ssi-dispatch", PhasePartition, "chunk", strconv.Itoa(ids[i]), "worker", w)
+		defer disp.End()
+		var fold *obs.Span
+		defer func() { fold.End() }()
 		for _, env := range byBucket[ids[i]] {
-			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "bucket-chunk", Payload: env.Payload},
+			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "bucket-chunk", Payload: env.Payload, Ctx: disp.Context()},
 				func(e netsim.Envelope) {
+					if fold == nil {
+						fold = tp.ro.remoteSpan(PhaseTokenFold, e.Ctx, "chunk", strconv.Itoa(ids[i]), "worker", w)
+					}
 					body, err := open(kr, e.Payload)
 					if err != nil {
 						out.macFailures++
@@ -211,7 +221,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 				return
 			}
 		}
-		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: make([]byte, 48)}, nil); err != nil && out.err == nil {
+		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: make([]byte, 48), Ctx: fold.Context()}, nil); err != nil && out.err == nil {
 			out.err = err
 		}
 	})

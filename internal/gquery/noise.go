@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"pds/internal/netsim"
+	"pds/internal/obs"
 	"pds/internal/ssi"
 )
 
@@ -130,6 +132,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	// Phase barrier: delayed uploads surface before grouping.
 	tp.barrier(srv.Receive)
 	tp.phase(PhasePartition)
+	srv.BindTrace(tp.ro.curCtx())
 
 	// The SSI groups by equal deterministic ciphertext — its whole
 	// advantage, and its whole leakage.
@@ -186,11 +189,20 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			out.partial.Aggs[t.Group] = out.partial.Aggs[t.Group].Fold(t.Value)
 		}
 	}
-	runToken := func(out *chunkOutcome, w string, envs []netsim.Envelope, sealPartial bool) {
+	runToken := func(out *chunkOutcome, w string, envs []netsim.Envelope, sealPartial bool, label string) {
+		disp := tp.ro.span("ssi-dispatch", PhasePartition, "chunk", label, "worker", w)
+		defer disp.End()
+		var fold *obs.Span
+		defer func() { fold.End() }()
 		out.partial = partialAgg{Aggs: map[string]GroupAgg{}}
 		for _, env := range envs {
-			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload},
-				func(e netsim.Envelope) { processEnv(out, e) })
+			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload, Ctx: disp.Context()},
+				func(e netsim.Envelope) {
+					if fold == nil {
+						fold = tp.ro.remoteSpan(PhaseTokenFold, e.Ctx, "chunk", label, "worker", w)
+					}
+					processEnv(out, e)
+				})
 			if sendErr != nil && out.err == nil {
 				out.err = sendErr
 			}
@@ -206,13 +218,13 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			out.err = err
 			return
 		}
-		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: seal(kr, pct)}, nil); err != nil {
+		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: seal(kr, pct), Ctx: fold.Context()}, nil); err != nil {
 			out.err = err
 		}
 	}
 	outs := make([]chunkOutcome, len(keys))
 	cfg.forEachChunk(len(keys), func(i int) {
-		runToken(&outs[i], parts[i%len(parts)].ID, groups[keys[i]], true)
+		runToken(&outs[i], parts[i%len(parts)].ID, groups[keys[i]], true, strconv.Itoa(i))
 	})
 	var partials []partialAgg
 	for _, out := range outs {
@@ -228,7 +240,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 	}
 	if len(forged) > 0 {
 		var out chunkOutcome
-		runToken(&out, parts[0].ID, forged, false)
+		runToken(&out, parts[0].ID, forged, false, "forged")
 		stats.MACFailures += out.macFailures
 		if out.macFailures > 0 {
 			stats.Detected = true

@@ -16,6 +16,14 @@ const (
 	MetricMACFailures = "gquery_mac_failures_total"
 	MetricFakeTuples  = "gquery_fake_tuples_total"
 	MetricDetected    = "gquery_detected_total"
+
+	// Critical-path families, derived from the finished span tree: total
+	// longest-chain time and parallel slack for the run, and the same pair
+	// per protocol phase (labeled "phase").
+	MetricCriticalNS      = "gquery_critical_path_ns_total"
+	MetricCriticalSlackNS = "gquery_critical_slack_ns_total"
+	MetricPhaseChainNS    = "gquery_phase_chain_ns_total"
+	MetricPhaseSlackNS    = "gquery_phase_slack_ns_total"
 )
 
 // Span names of the protocol phases, in execution order.
@@ -40,10 +48,12 @@ type runObs struct {
 	user *obs.Registry // engine observer (nil, or possibly == prev)
 	cost netsim.CostModel
 
-	root *obs.Span
-	cur  *obs.Span
-	last netsim.Stats
-	done bool
+	root   *obs.Span
+	cur    *obs.Span
+	phases map[string]*obs.Span // phase name -> its span (written at phase barriers only)
+	last   netsim.Stats
+	ended  bool // root/cur spans closed
+	done   bool
 }
 
 func newRunObs(net *netsim.Network, user *obs.Registry, proto string) *runObs {
@@ -57,6 +67,7 @@ func newRunObs(net *netsim.Network, user *obs.Registry, proto string) *runObs {
 	net.SetObserver(ro.reg)
 	ro.root = ro.reg.Tracer().Start("gquery/"+proto, nil)
 	ro.cur = ro.reg.Tracer().Start(PhaseCollect, ro.root)
+	ro.phases = map[string]*obs.Span{PhaseCollect: ro.cur}
 	return ro
 }
 
@@ -82,6 +93,48 @@ func (ro *runObs) phase(name string) {
 	ro.tick()
 	ro.cur.End()
 	ro.cur = ro.reg.Tracer().Start(name, ro.root)
+	ro.phases[name] = ro.cur
+}
+
+// curCtx is the wire context of the current phase span — the default
+// causal parent for envelopes sent during the phase.
+func (ro *runObs) curCtx() obs.SpanContext { return ro.cur.Context() }
+
+// span opens a named span under the given phase's span (falling back to
+// the run root), annotated with alternating key/value pairs. Safe from
+// fleet workers: the phases map is only written at phase barriers.
+func (ro *runObs) span(name, phase string, attrs ...string) *obs.Span {
+	parent := ro.phases[phase]
+	if parent == nil {
+		parent = ro.root
+	}
+	sp := ro.reg.Tracer().Start(name, parent)
+	annotate(sp, attrs)
+	return sp
+}
+
+// remoteSpan opens a span whose parent arrived as a wire context — the
+// receive side of a cross-node hop.
+func (ro *runObs) remoteSpan(name string, ctx obs.SpanContext, attrs ...string) *obs.Span {
+	sp := ro.reg.Tracer().StartRemote(name, ctx)
+	annotate(sp, attrs)
+	return sp
+}
+
+func annotate(sp *obs.Span, attrs []string) {
+	for i := 0; i+1 < len(attrs); i += 2 {
+		sp.Annotate(attrs[i], attrs[i+1])
+	}
+}
+
+// closeSpans ends the current phase and root spans (once).
+func (ro *runObs) closeSpans() {
+	if ro.ended {
+		return
+	}
+	ro.ended = true
+	ro.cur.End()
+	ro.root.End()
 }
 
 // finish mirrors the protocol outcome into counters and re-derives the
@@ -89,6 +142,7 @@ func (ro *runObs) phase(name string) {
 // run registry instead of the legacy per-struct accounting.
 func (ro *runObs) finish(stats *RunStats) {
 	ro.tick()
+	ro.closeSpans()
 	reg := ro.reg
 	reg.Counter(MetricChunks).Add(int64(stats.Chunks))
 	reg.Counter(MetricWorkerCalls).Add(int64(stats.WorkerCalls))
@@ -102,6 +156,17 @@ func (ro *runObs) finish(stats *RunStats) {
 	stats.AckMessages = int(reg.CounterValue(netsim.MetricRelAcks))
 	stats.TagFailures = int(reg.CounterValue(netsim.MetricRelTagFail))
 	stats.RetryBackoff = time.Duration(reg.CounterValue(netsim.MetricRelBackoffNS))
+
+	// With the run's spans closed, walk the causal DAG for the critical
+	// path and mirror it into counters so the breakdown survives merges.
+	cp := obs.ComputeCriticalPath(reg.Snapshot().Spans)
+	stats.CriticalPath = cp
+	reg.Counter(MetricCriticalNS).Add(cp.TotalNS)
+	reg.Counter(MetricCriticalSlackNS).Add(cp.SlackNS)
+	for _, ph := range cp.Phases {
+		reg.Counter(MetricPhaseChainNS, "phase", ph.Name).Add(ph.ChainNS)
+		reg.Counter(MetricPhaseSlackNS, "phase", ph.Name).Add(ph.SlackNS)
+	}
 }
 
 // detach ends the run's observability epoch: close open spans, hand the
@@ -113,8 +178,7 @@ func (ro *runObs) detach() {
 	}
 	ro.done = true
 	ro.tick()
-	ro.cur.End()
-	ro.root.End()
+	ro.closeSpans()
 	ro.net.SetObserver(ro.prev)
 	if ro.prev != nil {
 		ro.prev.Merge(ro.reg)

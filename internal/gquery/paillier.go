@@ -95,6 +95,7 @@ func RunPaillierAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant
 	// Phase barrier: delayed uploads surface before grouping.
 	tp.barrier(srv.Receive)
 	tp.phase(PhasePartition)
+	srv.BindTrace(tp.ro.curCtx())
 
 	// The SSI groups by det ciphertext and aggregates homomorphically.
 	chunks, err := srv.Partition(1 << 30)

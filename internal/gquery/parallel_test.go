@@ -2,10 +2,22 @@ package gquery
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
+	"pds/internal/obs"
 	"pds/internal/ssi"
 )
+// statsMatch compares run stats ignoring the critical-path report: the
+// span tree of a parallel run legitimately differs from the serial one
+// (that difference IS the parallel slack), while every cost and
+// detection counter must still agree exactly.
+func statsMatch(a, b RunStats) bool {
+	a.CriticalPath = obs.CriticalPath{}
+	b.CriticalPath = obs.CriticalPath{}
+	return reflect.DeepEqual(a, b)
+}
+
 
 // runBoth executes the same secure-agg inputs serially and over the full
 // token fleet, on fresh network/SSI instances with identical adversary
@@ -29,7 +41,7 @@ func TestSecureAggParallelMatchesSerial(t *testing.T) {
 	if !resultsEqual(serRes, parRes) {
 		t.Errorf("parallel result diverges\nserial   %v\nparallel %v", serRes, parRes)
 	}
-	if serStats != parStats {
+	if !statsMatch(serStats, parStats) {
 		t.Errorf("parallel stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
 	}
 	if !resultsEqual(parRes, PlainResult(parts)) {
@@ -44,7 +56,7 @@ func TestSecureAggParallelDetectsDrop(t *testing.T) {
 	if !errors.Is(serErr, ErrDetected) || !errors.Is(parErr, ErrDetected) {
 		t.Fatalf("drop not detected: serial=%v parallel=%v", serErr, parErr)
 	}
-	if serStats != parStats {
+	if !statsMatch(serStats, parStats) {
 		t.Errorf("detection stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
 	}
 }
@@ -56,7 +68,7 @@ func TestSecureAggParallelDetectsDuplicate(t *testing.T) {
 	if !errors.Is(serErr, ErrDetected) || !errors.Is(parErr, ErrDetected) {
 		t.Fatalf("duplicate not detected: serial=%v parallel=%v", serErr, parErr)
 	}
-	if serStats != parStats {
+	if !statsMatch(serStats, parStats) {
 		t.Errorf("detection stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
 	}
 }
@@ -68,7 +80,7 @@ func TestSecureAggParallelDetectsForgery(t *testing.T) {
 	if !errors.Is(serErr, ErrDetected) || !errors.Is(parErr, ErrDetected) {
 		t.Fatalf("forgery not detected: serial=%v parallel=%v", serErr, parErr)
 	}
-	if serStats.MACFailures == 0 || serStats != parStats {
+	if serStats.MACFailures == 0 || !statsMatch(serStats, parStats) {
 		t.Errorf("MAC failure stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
 	}
 }
@@ -90,7 +102,7 @@ func TestNoiseParallelMatchesSerial(t *testing.T) {
 		if !resultsEqual(serRes, parRes) {
 			t.Errorf("%v: parallel noise result diverges", kind)
 		}
-		if serStats != parStats {
+		if !statsMatch(serStats, parStats) {
 			t.Errorf("%v: parallel noise stats diverge\nserial   %+v\nparallel %+v", kind, serStats, parStats)
 		}
 	}
@@ -121,7 +133,7 @@ func TestHistogramParallelMatchesSerial(t *testing.T) {
 			t.Errorf("bucket %d diverges: serial %+v parallel %+v", bkt, agg, parRes[bkt])
 		}
 	}
-	if serStats != parStats {
+	if !statsMatch(serStats, parStats) {
 		t.Errorf("parallel histogram stats diverge\nserial   %+v\nparallel %+v", serStats, parStats)
 	}
 }

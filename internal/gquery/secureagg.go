@@ -1,7 +1,10 @@
 package gquery
 
 import (
+	"strconv"
+
 	"pds/internal/netsim"
+	"pds/internal/obs"
 	"pds/internal/ssi"
 )
 
@@ -64,6 +67,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	// Phase barrier: delayed uploads surface before partitioning.
 	tp.barrier(srv.Receive)
 	tp.phase(PhasePartition)
+	srv.BindTrace(tp.ro.curCtx())
 
 	// Partition phase (where a weakly-malicious SSI misbehaves).
 	chunks, err := srv.Partition(chunkSize)
@@ -77,10 +81,21 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	outs := make([]chunkOutcome, len(chunks))
 	cfg.forEachChunk(len(chunks), func(i int) {
 		worker := parts[i%len(parts)].ID
+		// The dispatch span is the "SSI partition message" handing chunk i
+		// to its worker: every wire frame of the chunk carries its context,
+		// so the token's fold span attaches under it even across
+		// retransmits and duplicated deliveries.
+		disp := tp.ro.span("ssi-dispatch", PhasePartition, "chunk", strconv.Itoa(i), "worker", worker)
+		defer disp.End()
+		var fold *obs.Span
+		defer func() { fold.End() }()
 		out := chunkOutcome{partial: partialAgg{Aggs: map[string]GroupAgg{}}}
 		for _, env := range chunks[i] {
-			sendErr := tp.send(netsim.Envelope{From: "ssi", To: worker, Kind: "chunk", Payload: env.Payload},
+			sendErr := tp.send(netsim.Envelope{From: "ssi", To: worker, Kind: "chunk", Payload: env.Payload, Ctx: disp.Context()},
 				func(e netsim.Envelope) {
+					if fold == nil {
+						fold = tp.ro.remoteSpan(PhaseTokenFold, e.Ctx, "chunk", strconv.Itoa(i), "worker", worker)
+					}
 					ct, err := open(kr, e.Payload)
 					if err != nil {
 						out.macFailures++
@@ -118,7 +133,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 			outs[i] = out
 			return
 		}
-		if err := tp.send(netsim.Envelope{From: worker, To: "ssi", Kind: "partial", Payload: seal(kr, pct)}, nil); err != nil {
+		if err := tp.send(netsim.Envelope{From: worker, To: "ssi", Kind: "partial", Payload: seal(kr, pct), Ctx: fold.Context()}, nil); err != nil {
 			out.err = err
 		}
 		outs[i] = out

@@ -75,6 +75,9 @@ func (tp *transport) link(kind string) *netsim.Link {
 // it returns the link's typed *netsim.RetryError when the retry budget is
 // exhausted.
 func (tp *transport) send(e netsim.Envelope, rcv func(netsim.Envelope)) error {
+	if e.Ctx.IsZero() {
+		e.Ctx = tp.ro.curCtx()
+	}
 	if !tp.on {
 		out := tp.net.Send(e)
 		if rcv != nil {

@@ -12,15 +12,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pds/internal/obs"
 )
 
 // Envelope is one message on the wire. Payload is whatever the sender put
-// there — for a privacy-preserving protocol, ciphertext.
+// there — for a privacy-preserving protocol, ciphertext. Ctx is the
+// sender's span context: the causal parent any span the receiver opens for
+// this message should hang under. On the direct path it rides the struct;
+// the reliability layer additionally serializes it into frame bytes so it
+// survives the trip through the fault plane.
 type Envelope struct {
 	From    string
 	To      string
 	Kind    string // protocol phase tag, e.g. "tuple", "chunk", "partial"
 	Payload []byte
+	Ctx     obs.SpanContext
 }
 
 // Stats aggregates traffic counters.

@@ -78,6 +78,23 @@ func (o *netObserver) rel(family string, d int64) {
 	o.reg.Counter(family).Add(d)
 }
 
+// startSpan opens a span on the attached registry under a wire context
+// (nil observer -> nil span; obs.Span methods tolerate nil).
+func (o *netObserver) startSpan(name string, ctx obs.SpanContext) *obs.Span {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Tracer().StartRemote(name, ctx)
+}
+
+// event records an instantaneous span under a wire context.
+func (o *netObserver) event(name string, ctx obs.SpanContext) {
+	if o == nil {
+		return
+	}
+	o.reg.Tracer().Event(name, ctx)
+}
+
 // SetObserver attaches (or, with nil, detaches) a metrics registry. All
 // subsequent traffic, fault decisions and reliability events are mirrored
 // into it; an already-installed fault plane is re-bound.

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"pds/internal/obs"
 )
 
 // Reliability parameterizes a Link.
@@ -88,35 +90,45 @@ func (e *RetryError) Error() string {
 // Is makes errors.Is(err, ErrRetriesExhausted) match.
 func (e *RetryError) Is(target error) bool { return target == ErrRetriesExhausted }
 
-// Frame layout: seq(8) | attempt(2) | ack(1) | payload | sha256 tag(32).
-const frameOverhead = 8 + 2 + 1 + 32
+// Frame layout: seq(8) | attempt(2) | ack(1) | trace(8) | span(8) |
+// payload | sha256 tag(32). The 16 trace-context bytes carry the sending
+// transfer's span identity across the (possibly faulty) wire, so spans and
+// events the receiver records attach to the transfer that incurred them.
+const frameOverhead = 8 + 2 + 1 + 16 + 32
+
+// frameHeader is the byte offset where the payload starts.
+const frameHeader = 8 + 2 + 1 + 16
 
 type frame struct {
 	seq     uint64
 	attempt uint16
 	ack     bool
+	ctx     obs.SpanContext
 	payload []byte
 }
 
-// EncodeFrame seals a reliability frame around payload.
-func EncodeFrame(seq uint64, attempt uint16, ack bool, payload []byte) []byte {
+// EncodeFrame seals a reliability frame around payload, embedding the
+// sender's span context in the header.
+func EncodeFrame(seq uint64, attempt uint16, ack bool, ctx obs.SpanContext, payload []byte) []byte {
 	out := make([]byte, frameOverhead+len(payload))
 	binary.LittleEndian.PutUint64(out[:8], seq)
 	binary.LittleEndian.PutUint16(out[8:10], attempt)
 	if ack {
 		out[10] = 1
 	}
-	copy(out[11:], payload)
-	tag := sha256.Sum256(out[: 11+len(payload) : 11+len(payload)])
-	copy(out[11+len(payload):], tag[:])
+	binary.LittleEndian.PutUint64(out[11:19], ctx.Trace)
+	binary.LittleEndian.PutUint64(out[19:27], ctx.Span)
+	copy(out[frameHeader:], payload)
+	tag := sha256.Sum256(out[: frameHeader+len(payload) : frameHeader+len(payload)])
+	copy(out[frameHeader+len(payload):], tag[:])
 	return out
 }
 
 // DecodeFrame verifies the integrity tag and unwraps a frame. ok is false
 // for truncated or corrupted frames.
-func DecodeFrame(data []byte) (seq uint64, attempt uint16, ack bool, payload []byte, ok bool) {
+func DecodeFrame(data []byte) (seq uint64, attempt uint16, ack bool, ctx obs.SpanContext, payload []byte, ok bool) {
 	fr, ok := decodeFrame(data)
-	return fr.seq, fr.attempt, fr.ack, fr.payload, ok
+	return fr.seq, fr.attempt, fr.ack, fr.ctx, fr.payload, ok
 }
 
 func decodeFrame(data []byte) (frame, bool) {
@@ -132,7 +144,11 @@ func decodeFrame(data []byte) (frame, bool) {
 		seq:     binary.LittleEndian.Uint64(body[:8]),
 		attempt: binary.LittleEndian.Uint16(body[8:10]),
 		ack:     body[10] == 1,
-		payload: body[11:],
+		ctx: obs.SpanContext{
+			Trace: binary.LittleEndian.Uint64(body[11:19]),
+			Span:  binary.LittleEndian.Uint64(body[19:27]),
+		},
+		payload: body[frameHeader:],
 	}, true
 }
 
@@ -183,7 +199,19 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 	l.stats.Transfers++
 	l.pending[seq] = deliver
 	l.mu.Unlock()
-	l.net.obsv.Load().rel(MetricRelTransfers, 1)
+	obsv := l.net.obsv.Load()
+	obsv.rel(MetricRelTransfers, 1)
+	// The transfer span parents under the protocol-level context on the
+	// envelope; its own context rides in the frame bytes, so everything
+	// that happens to this frame on the wire — the receive, retransmits,
+	// duplicate deliveries, the ack — attaches to this transfer. With no
+	// observer the protocol context is forwarded untouched.
+	xfer := obsv.startSpan("xfer:"+e.Kind, e.Ctx)
+	defer xfer.End()
+	wireCtx := e.Ctx
+	if xfer != nil {
+		wireCtx = xfer.Context()
+	}
 	defer func() {
 		l.mu.Lock()
 		delete(l.pending, seq)
@@ -191,8 +219,8 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 	}()
 
 	for attempt := 0; ; attempt++ {
-		wire := EncodeFrame(seq, uint16(attempt), false, e.Payload)
-		l.net.Deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: wire}, l.receive)
+		wire := EncodeFrame(seq, uint16(attempt), false, wireCtx, e.Payload)
+		l.net.Deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: wire, Ctx: wireCtx}, l.receive)
 		l.mu.Lock()
 		acked := l.acked[seq]
 		l.mu.Unlock()
@@ -200,6 +228,7 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 			return nil
 		}
 		if attempt >= l.cfg.MaxRetries {
+			xfer.Annotate("outcome", "retries-exhausted")
 			return &RetryError{Kind: e.Kind, To: e.To, Seq: seq, Attempts: attempt + 1}
 		}
 		wait := l.cfg.Backoff << uint(min(attempt, 16))
@@ -210,7 +239,10 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 		if o := l.net.obsv.Load(); o != nil {
 			o.rel(MetricRelRetrans, 1)
 			o.rel(MetricRelBackoffNS, int64(wait))
+			bo := o.startSpan("backoff", wireCtx)
 			o.reg.Clock().Advance(wait)
+			bo.End()
+			o.event("retransmit", wireCtx)
 		}
 	}
 }
@@ -238,7 +270,9 @@ func (l *Link) receive(got Envelope) {
 		l.stats.Acks++
 		l.acked[fr.seq] = true
 		l.mu.Unlock()
-		l.net.obsv.Load().rel(MetricRelAcks, 1)
+		o := l.net.obsv.Load()
+		o.rel(MetricRelAcks, 1)
+		o.event("ack", fr.ctx)
 		return
 	}
 	l.mu.Lock()
@@ -250,10 +284,12 @@ func (l *Link) receive(got Envelope) {
 	}
 	l.mu.Unlock()
 	if first && deliver != nil {
-		deliver(Envelope{From: got.From, To: got.To, Kind: got.Kind, Payload: fr.payload})
+		deliver(Envelope{From: got.From, To: got.To, Kind: got.Kind, Payload: fr.payload, Ctx: fr.ctx})
+	} else if !first {
+		l.net.obsv.Load().event("dup-delivery", fr.ctx)
 	}
-	ackWire := EncodeFrame(fr.seq, fr.attempt, true, nil)
-	l.net.Deliver(Envelope{From: got.To, To: got.From, Kind: got.Kind + "/ack", Payload: ackWire}, l.receive)
+	ackWire := EncodeFrame(fr.seq, fr.attempt, true, fr.ctx, nil)
+	l.net.Deliver(Envelope{From: got.To, To: got.From, Kind: got.Kind + "/ack", Payload: ackWire, Ctx: fr.ctx}, l.receive)
 }
 
 // Accept processes a data frame that surfaced outside a Transfer — a
@@ -271,8 +307,12 @@ func (l *Link) Accept(e Envelope, deliver func(Envelope)) {
 		}
 		return
 	}
-	if l.markSeen(fr.seq) && deliver != nil {
-		deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: fr.payload})
+	if l.markSeen(fr.seq) {
+		if deliver != nil {
+			deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: fr.payload, Ctx: fr.ctx})
+		}
+	} else {
+		l.net.obsv.Load().event("dup-delivery", fr.ctx)
 	}
 }
 

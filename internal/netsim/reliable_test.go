@@ -5,23 +5,26 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"pds/internal/obs"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
-	wire := EncodeFrame(7, 3, false, []byte("hello"))
-	seq, attempt, ack, payload, ok := DecodeFrame(wire)
-	if !ok || seq != 7 || attempt != 3 || ack || string(payload) != "hello" {
-		t.Fatalf("round trip = seq=%d attempt=%d ack=%v payload=%q ok=%v", seq, attempt, ack, payload, ok)
+	sctx := obs.SpanContext{Trace: 9, Span: 41}
+	wire := EncodeFrame(7, 3, false, sctx, []byte("hello"))
+	seq, attempt, ack, ctx, payload, ok := DecodeFrame(wire)
+	if !ok || seq != 7 || attempt != 3 || ack || ctx != sctx || string(payload) != "hello" {
+		t.Fatalf("round trip = seq=%d attempt=%d ack=%v ctx=%+v payload=%q ok=%v", seq, attempt, ack, ctx, payload, ok)
 	}
 	// Any single-byte corruption must be caught by the tag.
 	for i := range wire {
 		bad := append([]byte(nil), wire...)
 		bad[i] ^= 0x01
-		if _, _, _, _, ok := DecodeFrame(bad); ok {
+		if _, _, _, _, _, ok := DecodeFrame(bad); ok {
 			t.Fatalf("corruption at byte %d not detected", i)
 		}
 	}
-	if _, _, _, _, ok := DecodeFrame(wire[:frameOverhead-1]); ok {
+	if _, _, _, _, _, ok := DecodeFrame(wire[:frameOverhead-1]); ok {
 		t.Error("truncated frame accepted")
 	}
 }
@@ -145,7 +148,7 @@ func TestTransferTreatsCorruptionAsLoss(t *testing.T) {
 	// reject it without delivering.
 	n := New()
 	l := NewLink(n, Reliability{})
-	wire := EncodeFrame(1, 0, false, []byte("x"))
+	wire := EncodeFrame(1, 0, false, obs.SpanContext{}, []byte("x"))
 	wire[frameOverhead/2] ^= 0xFF
 	l.Accept(Envelope{Kind: "k", Payload: wire}, func(Envelope) {
 		t.Error("corrupted frame delivered")
@@ -250,9 +253,9 @@ func TestReceiveDispatchesBySequence(t *testing.T) {
 	l.pending[7] = func(e Envelope) { gotA = append(gotA, string(e.Payload)) }
 	l.pending[8] = func(e Envelope) { gotB = append(gotB, string(e.Payload)) }
 	l.mu.Unlock()
-	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(7, 0, false, []byte("for-A"))})
-	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(8, 0, false, []byte("for-B"))})
-	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(7, 1, false, []byte("for-A"))})
+	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(7, 0, false, obs.SpanContext{}, []byte("for-A"))})
+	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(8, 0, false, obs.SpanContext{}, []byte("for-B"))})
+	l.receive(Envelope{From: "a", To: "b", Kind: "k", Payload: EncodeFrame(7, 1, false, obs.SpanContext{}, []byte("for-A"))})
 	if len(gotA) != 1 || gotA[0] != "for-A" {
 		t.Errorf("seq 7 deliveries = %q, want exactly [for-A]", gotA)
 	}
@@ -276,19 +279,121 @@ func TestRelStatsAdd(t *testing.T) {
 }
 
 func FuzzFrameDecode(f *testing.F) {
-	f.Add(EncodeFrame(1, 0, false, []byte("payload")))
-	f.Add(EncodeFrame(1<<60, 65535, true, nil))
+	f.Add(EncodeFrame(1, 0, false, obs.SpanContext{}, []byte("payload")))
+	f.Add(EncodeFrame(1<<60, 65535, true, obs.SpanContext{Trace: 3, Span: 1 << 40}, nil))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		seq, attempt, ack, payload, ok := DecodeFrame(data)
+		seq, attempt, ack, ctx, payload, ok := DecodeFrame(data)
 		if !ok {
 			return
 		}
 		// Anything the tag accepts must re-encode byte-identically: the
 		// frame format is canonical.
-		re := EncodeFrame(seq, attempt, ack, payload)
+		re := EncodeFrame(seq, attempt, ack, ctx, payload)
 		if string(re) != string(data) {
 			t.Fatalf("accepted frame not canonical")
 		}
 	})
+}
+
+// TestTransferSpansAndContextPropagation: with a registry attached, each
+// Transfer opens an "xfer:<kind>" span parented under the envelope's wire
+// context, delivers the envelope carrying the transfer's own context, and
+// records the ack event under the transfer.
+func TestTransferSpansAndContextPropagation(t *testing.T) {
+	n := New()
+	reg := obs.NewRegistry()
+	n.SetObserver(reg)
+	parent := reg.Tracer().Start("proto", nil)
+	l := NewLink(n, Reliability{})
+	var delivered Envelope
+	err := l.Transfer(Envelope{From: "a", To: "b", Kind: "chunk", Payload: []byte("p"), Ctx: parent.Context()},
+		func(e Envelope) { delivered = e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.End()
+
+	spans := reg.Snapshot().Spans
+	byName := map[string]obs.SpanRecord{}
+	byID := map[int]obs.SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		byID[sp.ID] = sp
+	}
+	xfer, ok := byName["xfer:chunk"]
+	if !ok {
+		t.Fatalf("no transfer span in %+v", spans)
+	}
+	if byID[xfer.Parent].Name != "proto" {
+		t.Errorf("transfer parented under %q, want proto", byID[xfer.Parent].Name)
+	}
+	ackEv, ok := byName["ack"]
+	if !ok || byID[ackEv.Parent].Name != "xfer:chunk" {
+		t.Errorf("ack event not attached to the transfer: %+v", ackEv)
+	}
+	// The delivered envelope carries the transfer's context, so receiver
+	// spans parent under the transfer, not the raw protocol span.
+	if delivered.Ctx.IsZero() {
+		t.Fatal("delivered envelope lost its wire context")
+	}
+	rcv := reg.Tracer().StartRemote("fold", delivered.Ctx)
+	rcv.End()
+	for _, sp := range reg.Snapshot().Spans {
+		if sp.Name == "fold" {
+			var names []string
+			for p := sp; p.Parent != 0; {
+				next := p.Parent
+				for _, q := range reg.Snapshot().Spans {
+					if q.ID == next {
+						p = q
+						break
+					}
+				}
+				names = append(names, p.Name)
+			}
+			if len(names) < 2 || names[0] != "xfer:chunk" || names[1] != "proto" {
+				t.Errorf("fold ancestry = %v, want [xfer:chunk proto]", names)
+			}
+		}
+	}
+}
+
+// TestTransferRetransmitEventsAttachToOwnTransfer: two transfers over a
+// dropping plane must each attribute their retransmit/backoff events to
+// their own xfer span — never to the other transfer.
+func TestTransferRetransmitEventsAttachToOwnTransfer(t *testing.T) {
+	n := New()
+	reg := obs.NewRegistry()
+	n.SetObserver(reg)
+	n.SetFaults(NewFaultPlane(FaultPlan{Seed: 11, Default: FaultSpec{Drop: 0.4}}))
+	l := NewLink(n, Reliability{MaxRetries: 50})
+	for i := 0; i < 2; i++ {
+		e := Envelope{From: "a", To: "b", Kind: fmt.Sprintf("k%d", i), Payload: []byte{byte(i)}}
+		if err := l.Transfer(e, func(Envelope) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Retransmits == 0 {
+		t.Skip("seed produced no retransmits; nothing to attribute")
+	}
+	spans := reg.Snapshot().Spans
+	byID := map[int]obs.SpanRecord{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	var attributed int
+	for _, sp := range spans {
+		if sp.Name != "retransmit" && sp.Name != "backoff" {
+			continue
+		}
+		p := byID[sp.Parent]
+		if p.Name != "xfer:k0" && p.Name != "xfer:k1" {
+			t.Errorf("%s event parented under %q", sp.Name, p.Name)
+		}
+		attributed++
+	}
+	if attributed == 0 {
+		t.Error("retransmits happened but no events were recorded")
+	}
 }

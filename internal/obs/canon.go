@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// canonicalSpans renumbers a span list by causal structure: siblings are
+// ordered by (start time, name, attrs, end time) and ids assigned in DFS
+// preorder, parent links rewritten to match. Raw Start-order ids depend on
+// goroutine interleaving under a parallel token fleet; the canonical form
+// depends only on what work happened, so two identical Workers=N runs
+// export the same spans. Ties between fully identical childless records
+// are harmless: either order serializes to the same bytes.
+func canonicalSpans(spans []SpanRecord) []SpanRecord {
+	if len(spans) == 0 {
+		return spans
+	}
+	byID := make(map[int]int, len(spans)) // original id -> index
+	for i, sp := range spans {
+		byID[sp.ID] = i
+	}
+	children := make(map[int][]int, len(spans)) // original parent id -> child indexes
+	var roots []int
+	for i, sp := range spans {
+		if sp.Parent != 0 {
+			if _, ok := byID[sp.Parent]; ok {
+				children[sp.Parent] = append(children[sp.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i) // true root, or dangling parent
+	}
+	keys := make([]string, len(spans))
+	key := func(i int) string {
+		if keys[i] == "" {
+			keys[i] = sortKey(spans[i])
+		}
+		return keys[i]
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return key(idx[a]) < key(idx[b]) })
+	}
+	order(roots)
+
+	out := make([]SpanRecord, 0, len(spans))
+	newID := make([]int, len(spans))
+	var walk func(i, parent int)
+	walk = func(i, parent int) {
+		sp := spans[i]
+		newID[i] = len(out) + 1
+		sp.ID = newID[i]
+		sp.Parent = parent
+		out = append(out, sp)
+		kids := children[spans[i].ID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, sp.ID)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return out
+}
+
+// sortKey orders siblings: start time first (zero-padded so the string
+// order matches numeric order), then name, attrs and end time as
+// tie-breakers for same-instant work.
+func sortKey(sp SpanRecord) string {
+	var b strings.Builder
+	b.Grow(64)
+	padInt(&b, sp.StartNS)
+	b.WriteByte('|')
+	b.WriteString(sp.Name)
+	b.WriteByte('|')
+	if len(sp.Attrs) > 0 {
+		ks := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(sp.Attrs[k])
+			b.WriteByte(',')
+		}
+	}
+	b.WriteByte('|')
+	padInt(&b, sp.EndNS)
+	return b.String()
+}
+
+// padInt writes v as a fixed-width decimal so lexicographic order equals
+// numeric order for the non-negative simulated timestamps.
+func padInt(b *strings.Builder, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	const width = 19
+	var buf [width]byte
+	for i := width - 1; i >= 0; i-- {
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	b.Write(buf[:])
+}

@@ -1,0 +1,204 @@
+package obs
+
+import "sort"
+
+// PhasePath summarizes one top-level phase of a trace: how much simulated
+// time its subtree keeps on the longest dependency chain (ChainNS), how
+// much span time it holds in total (WorkNS), and how much of that work ran
+// off the chain in parallel (SlackNS = WorkNS - ChainNS, clamped at 0).
+type PhasePath struct {
+	Name    string `json:"name"`
+	ChainNS int64  `json:"chain_ns"`
+	WorkNS  int64  `json:"work_ns"`
+	SlackNS int64  `json:"slack_ns"`
+	Spans   int    `json:"spans"`
+}
+
+// CriticalPath is the critical-path report over a finished span DAG:
+// TotalNS is the longest dependency chain through the trace, WorkNS the
+// total span time (each span counted by its self time, so nesting does not
+// double-count), and SlackNS the work that overlapped the chain in
+// parallel. Phases breaks the report down by the direct children of the
+// primary root — for a gquery run, the protocol phases in execution order.
+type CriticalPath struct {
+	TotalNS int64       `json:"total_ns"`
+	WorkNS  int64       `json:"work_ns"`
+	SlackNS int64       `json:"slack_ns"`
+	Phases  []PhasePath `json:"phases,omitempty"`
+}
+
+// interval is one weighted child interval for the chain scheduler.
+type interval struct {
+	start, end, weight int64
+}
+
+// ComputeCriticalPath walks a span list (typically Snapshot.Spans) and
+// derives the critical-path report. The chain through a span is the larger
+// of its own duration and the best sum of non-overlapping child chains —
+// under the single simulated clock a parent always covers its children, so
+// for a well-nested trace the chain equals the enclosing span's duration,
+// and the interesting signal is how much parallel work (slack) hid inside
+// it. Spans whose parent is missing from the list count as roots.
+func ComputeCriticalPath(spans []SpanRecord) CriticalPath {
+	if len(spans) == 0 {
+		return CriticalPath{}
+	}
+	byID := make(map[int]int, len(spans))
+	for i, sp := range spans {
+		byID[sp.ID] = i
+	}
+	children := make(map[int][]int, len(spans))
+	var roots []int
+	for i, sp := range spans {
+		if sp.Parent != 0 {
+			if _, ok := byID[sp.Parent]; ok && sp.Parent != sp.ID {
+				children[sp.Parent] = append(children[sp.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+
+	chain := make([]int64, len(spans))
+	work := make([]int64, len(spans))
+	size := make([]int, len(spans))
+	var visit func(i int)
+	visit = func(i int) {
+		sp := spans[i]
+		size[i] = 1
+		kids := children[sp.ID]
+		ivs := make([]interval, 0, len(kids))
+		for _, k := range kids {
+			visit(k)
+			size[i] += size[k]
+			work[i] += work[k]
+			ivs = append(ivs, interval{spans[k].StartNS, spans[k].EndNS, chain[k]})
+		}
+		dur := sp.EndNS - sp.StartNS
+		if dur < 0 {
+			dur = 0
+		}
+		// Self time: the part of the span's interval no child covers.
+		self := dur - unionWithin(ivs, sp.StartNS, sp.EndNS)
+		if self > 0 {
+			work[i] += self
+		}
+		chain[i] = dur
+		if best := longestSchedule(ivs); best > dur {
+			chain[i] = best
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	rootIvs := make([]interval, len(roots))
+	var cp CriticalPath
+	primary := roots[0]
+	for j, r := range roots {
+		rootIvs[j] = interval{spans[r].StartNS, spans[r].EndNS, chain[r]}
+		cp.WorkNS += work[r]
+		if chain[r] > chain[primary] {
+			primary = r
+		}
+	}
+	cp.TotalNS = longestSchedule(rootIvs)
+	if slack := cp.WorkNS - cp.TotalNS; slack > 0 {
+		cp.SlackNS = slack
+	}
+
+	// Phase breakdown: the primary root's direct children in start order.
+	kids := append([]int(nil), children[spans[primary].ID]...)
+	sort.Slice(kids, func(a, b int) bool {
+		sa, sb := spans[kids[a]], spans[kids[b]]
+		if sa.StartNS != sb.StartNS {
+			return sa.StartNS < sb.StartNS
+		}
+		return sa.ID < sb.ID
+	})
+	for _, k := range kids {
+		ph := PhasePath{
+			Name:    spans[k].Name,
+			ChainNS: chain[k],
+			WorkNS:  work[k],
+			Spans:   size[k],
+		}
+		if slack := ph.WorkNS - ph.ChainNS; slack > 0 {
+			ph.SlackNS = slack
+		}
+		cp.Phases = append(cp.Phases, ph)
+	}
+	return cp
+}
+
+// unionWithin returns the total length of the union of the intervals,
+// clipped to [lo, hi].
+func unionWithin(ivs []interval, lo, hi int64) int64 {
+	if len(ivs) == 0 || hi <= lo {
+		return 0
+	}
+	clipped := make([]interval, 0, len(ivs))
+	for _, iv := range ivs {
+		s, e := iv.start, iv.end
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			clipped = append(clipped, interval{start: s, end: e})
+		}
+	}
+	sort.Slice(clipped, func(a, b int) bool { return clipped[a].start < clipped[b].start })
+	var total int64
+	curStart, curEnd := int64(0), int64(0)
+	open := false
+	for _, iv := range clipped {
+		if !open || iv.start > curEnd {
+			if open {
+				total += curEnd - curStart
+			}
+			curStart, curEnd, open = iv.start, iv.end, true
+			continue
+		}
+		if iv.end > curEnd {
+			curEnd = iv.end
+		}
+	}
+	if open {
+		total += curEnd - curStart
+	}
+	return total
+}
+
+// longestSchedule is weighted interval scheduling: the maximum total
+// weight over a pairwise non-overlapping subset of the intervals — the
+// longest sequential dependency chain the intervals admit.
+func longestSchedule(ivs []interval) int64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sorted := append([]interval(nil), ivs...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].end != sorted[b].end {
+			return sorted[a].end < sorted[b].end
+		}
+		return sorted[a].start < sorted[b].start
+	})
+	ends := make([]int64, len(sorted))
+	for i, iv := range sorted {
+		ends[i] = iv.end
+	}
+	dp := make([]int64, len(sorted)+1)
+	for i, iv := range sorted {
+		// Last interval ending at or before this one starts.
+		p := sort.Search(len(sorted), func(j int) bool { return ends[j] > iv.start })
+		take := dp[p] + iv.weight
+		dp[i+1] = dp[i]
+		if take > dp[i+1] {
+			dp[i+1] = take
+		}
+	}
+	return dp[len(sorted)]
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// span builds a raw record for hand-built trees.
+func span(id, parent int, name string, start, end int64) SpanRecord {
+	return SpanRecord{ID: id, Parent: parent, Name: name, StartNS: start, EndNS: end}
+}
+
+// TestCriticalPathHandComputedTree pins the analyzer against a trace
+// computed by hand: a 100ns root with two phases, the first holding two
+// fully-parallel 40ns children (so the phase carries 40ns of slack), the
+// second a serial 60ns stretch.
+func TestCriticalPathHandComputedTree(t *testing.T) {
+	spans := []SpanRecord{
+		span(1, 0, "run", 0, 100),
+		span(2, 1, "phase-a", 0, 40),
+		span(3, 2, "worker-1", 0, 40),
+		span(4, 2, "worker-2", 0, 40),
+		span(5, 1, "phase-b", 40, 100),
+	}
+	cp := ComputeCriticalPath(spans)
+	if cp.TotalNS != 100 {
+		t.Errorf("TotalNS = %d, want 100 (the root's duration)", cp.TotalNS)
+	}
+	// Work: phase-a has zero self time (children tile it) + 40 + 40;
+	// phase-b is a 60ns leaf; the root's own interval is fully covered.
+	if cp.WorkNS != 140 {
+		t.Errorf("WorkNS = %d, want 140", cp.WorkNS)
+	}
+	if cp.SlackNS != 40 {
+		t.Errorf("SlackNS = %d, want 40 (one hidden 40ns worker)", cp.SlackNS)
+	}
+	if len(cp.Phases) != 2 {
+		t.Fatalf("phases = %+v, want 2", cp.Phases)
+	}
+	a, b := cp.Phases[0], cp.Phases[1]
+	if a.Name != "phase-a" || b.Name != "phase-b" {
+		t.Fatalf("phase order wrong: %+v", cp.Phases)
+	}
+	if a.ChainNS != 40 || a.WorkNS != 80 || a.SlackNS != 40 || a.Spans != 3 {
+		t.Errorf("phase-a = %+v, want chain=40 work=80 slack=40 spans=3", a)
+	}
+	if b.ChainNS != 60 || b.WorkNS != 60 || b.SlackNS != 0 || b.Spans != 1 {
+		t.Errorf("phase-b = %+v, want chain=60 work=60 slack=0 spans=1", b)
+	}
+	// Serial identity: total chain equals the sum of the phase chains.
+	if a.ChainNS+b.ChainNS != cp.TotalNS {
+		t.Errorf("phase chains %d+%d != total %d", a.ChainNS, b.ChainNS, cp.TotalNS)
+	}
+}
+
+// TestCriticalPathChildChainExceedsParent: a parent whose children's best
+// non-overlapping schedule is longer than its own recorded duration (an
+// open parent snapshotted before End) must report the child chain.
+func TestCriticalPathChildChainExceedsParent(t *testing.T) {
+	spans := []SpanRecord{
+		span(1, 0, "open-root", 0, 0), // open at snapshot time
+		span(2, 1, "step-1", 0, 30),
+		span(3, 1, "step-2", 30, 70),
+	}
+	cp := ComputeCriticalPath(spans)
+	if cp.TotalNS != 70 {
+		t.Errorf("TotalNS = %d, want 70 (the children's chain)", cp.TotalNS)
+	}
+}
+
+// TestCriticalPathMultiRootSchedule: with several roots the total is the
+// weighted-interval schedule over them, not their sum and not the max.
+func TestCriticalPathMultiRootSchedule(t *testing.T) {
+	spans := []SpanRecord{
+		span(1, 0, "r1", 0, 10),
+		span(2, 0, "r2", 5, 20),  // overlaps r1
+		span(3, 0, "r3", 20, 30), // chains after r2
+	}
+	cp := ComputeCriticalPath(spans)
+	// Best non-overlapping chain: r2 (15) + r3 (10) = 25.
+	if cp.TotalNS != 25 {
+		t.Errorf("TotalNS = %d, want 25", cp.TotalNS)
+	}
+	if cp.WorkNS != 35 {
+		t.Errorf("WorkNS = %d, want 35", cp.WorkNS)
+	}
+	if cp.SlackNS != 10 {
+		t.Errorf("SlackNS = %d, want 10 (r1 overlapped the chain)", cp.SlackNS)
+	}
+}
+
+// TestCriticalPathDanglingParentIsRoot: spans pointing at a parent id
+// missing from the list count as roots rather than vanishing.
+func TestCriticalPathDanglingParentIsRoot(t *testing.T) {
+	spans := []SpanRecord{
+		span(7, 99, "orphan", 0, 50),
+	}
+	cp := ComputeCriticalPath(spans)
+	if cp.TotalNS != 50 || cp.WorkNS != 50 {
+		t.Errorf("orphan span dropped: %+v", cp)
+	}
+}
+
+// TestCriticalPathEmpty pins the zero-value result.
+func TestCriticalPathEmpty(t *testing.T) {
+	if cp := ComputeCriticalPath(nil); cp.TotalNS != 0 || cp.WorkNS != 0 || len(cp.Phases) != 0 {
+		t.Errorf("empty input: %+v", cp)
+	}
+}
+
+// TestCriticalPathFromLiveTracer runs the analyzer over a real tracer
+// driven by the sim clock and checks the report matches the recorded
+// structure end to end (snapshot canonicalization included).
+func TestCriticalPathFromLiveTracer(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	root := tr.Start("run", nil)
+	p1 := tr.Start("collect", root)
+	r.Clock().Advance(10 * time.Nanosecond)
+	p1.End()
+	p2 := tr.Start("fold", root)
+	r.Clock().Advance(30 * time.Nanosecond)
+	p2.End()
+	root.End()
+
+	cp := ComputeCriticalPath(r.Snapshot().Spans)
+	if cp.TotalNS != 40 {
+		t.Errorf("TotalNS = %d, want 40", cp.TotalNS)
+	}
+	if len(cp.Phases) != 2 || cp.Phases[0].Name != "collect" || cp.Phases[1].Name != "fold" {
+		t.Fatalf("phases = %+v", cp.Phases)
+	}
+	if cp.Phases[0].ChainNS != 10 || cp.Phases[1].ChainNS != 30 {
+		t.Errorf("phase chains = %+v, want 10 and 30", cp.Phases)
+	}
+	if cp.SlackNS != 0 {
+		t.Errorf("serial run reported slack %d", cp.SlackNS)
+	}
+}

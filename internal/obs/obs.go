@@ -117,7 +117,7 @@ type Registry struct {
 // NewRegistry creates an empty registry with a fresh simulated clock.
 func NewRegistry() *Registry {
 	r := &Registry{clock: &SimClock{}}
-	r.tracer = &Tracer{clock: r.clock}
+	r.tracer = &Tracer{clock: r.clock, trace: traceIDs.Add(1)}
 	return r
 }
 

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strconv"
+)
+
+// TraceEvent is one entry in the Chrome trace-event JSON format, the
+// interchange format Perfetto and chrome://tracing both load. Fields are a
+// subset of the spec: complete events ("X") for spans, instants ("i") for
+// zero-duration events, and metadata ("M") for track names.
+type TraceEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds, X only
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"` // i only: "t" = thread
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// TraceEvents converts the snapshot's spans to Chrome trace events. Each
+// root span and its whole subtree share one track (tid = the root's
+// canonical id), so a protocol run renders as one lane per causal tree.
+// Span ids and parent links are preserved in args ("id", "parent") — the
+// export stays lossless and parent resolution can be checked on the file
+// alone. Zero-duration spans (events) render as thread-scoped instants.
+func (s Snapshot) TraceEvents() []TraceEvent {
+	if len(s.Spans) == 0 {
+		return []TraceEvent{}
+	}
+	// Track = canonical id of the span's root ancestor. Snapshot spans are
+	// in DFS preorder, so parents always precede children.
+	track := make(map[int]int, len(s.Spans))
+	tracks := []int{}
+	for _, sp := range s.Spans {
+		if sp.Parent == 0 {
+			track[sp.ID] = sp.ID
+			tracks = append(tracks, sp.ID)
+			continue
+		}
+		track[sp.ID] = track[sp.Parent]
+	}
+
+	events := make([]TraceEvent, 0, len(s.Spans)+len(tracks)+1)
+	events = append(events, TraceEvent{
+		Name:  "process_name",
+		Phase: "M",
+		PID:   1,
+		Args:  map[string]string{"name": "pds-sim"},
+	})
+	rootName := make(map[int]string, len(tracks))
+	for _, sp := range s.Spans {
+		if sp.Parent == 0 {
+			rootName[sp.ID] = sp.Name
+		}
+	}
+	sort.Ints(tracks)
+	for _, t := range tracks {
+		events = append(events, TraceEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   t,
+			Args:  map[string]string{"name": rootName[t]},
+		})
+	}
+	for _, sp := range s.Spans {
+		args := make(map[string]string, len(sp.Attrs)+2)
+		args["id"] = strconv.Itoa(sp.ID)
+		if sp.Parent != 0 {
+			args["parent"] = strconv.Itoa(sp.Parent)
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		ev := TraceEvent{
+			Name: sp.Name,
+			TS:   float64(sp.StartNS) / 1e3,
+			PID:  1,
+			TID:  track[sp.ID],
+			Args: args,
+		}
+		if sp.EndNS > sp.StartNS {
+			ev.Phase = "X"
+			ev.Dur = float64(sp.EndNS-sp.StartNS) / 1e3
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// perfettoFile is the JSON-object trace container both Perfetto and
+// chrome://tracing accept.
+type perfettoFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// PerfettoJSON renders the snapshot's spans as a Chrome trace-event /
+// Perfetto JSON file. Like Snapshot.JSON, the output is deterministic:
+// events are emitted in canonical span order and maps marshal with sorted
+// keys.
+func (s Snapshot) PerfettoJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(perfettoFile{TraceEvents: s.TraceEvents(), DisplayTimeUnit: "ns"}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

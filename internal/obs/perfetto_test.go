@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// buildTrace records a small two-track trace: a timed protocol tree plus
+// a zero-duration event.
+func buildTrace(t *testing.T) Snapshot {
+	t.Helper()
+	r := NewRegistry()
+	tr := r.Tracer()
+	root := tr.Start("run", nil)
+	child := tr.Start("phase", root)
+	child.Annotate("kind", "fold")
+	r.Clock().Advance(5 * time.Microsecond)
+	child.End()
+	tr.Event("retransmit", root.Context())
+	root.End()
+	other := tr.Start("aux", nil)
+	r.Clock().Advance(time.Microsecond)
+	other.End()
+	return r.Snapshot()
+}
+
+func TestTraceEventsStructure(t *testing.T) {
+	events := buildTrace(t).TraceEvents()
+	if len(events) == 0 || events[0].Phase != "M" || events[0].Args["name"] != "pds-sim" {
+		t.Fatalf("missing process_name metadata: %+v", events[:1])
+	}
+	var threads, spans, instants int
+	ids := map[string]bool{}
+	trackOf := map[string]int{}
+	for _, ev := range events {
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				threads++
+			}
+		case "X":
+			spans++
+			ids[ev.Args["id"]] = true
+			trackOf[ev.Name] = ev.TID
+		case "i":
+			instants++
+			ids[ev.Args["id"]] = true
+			trackOf[ev.Name] = ev.TID
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope = %q, want t", ev.Name, ev.Scope)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if threads != 2 {
+		t.Errorf("thread_name events = %d, want 2 (one per root)", threads)
+	}
+	if spans != 3 || instants != 1 {
+		t.Errorf("spans=%d instants=%d, want 3 and 1", spans, instants)
+	}
+	// Parent links resolve within the file.
+	for _, ev := range events {
+		if p := ev.Args["parent"]; p != "" && !ids[p] {
+			t.Errorf("event %q parent %s unresolved", ev.Name, p)
+		}
+	}
+	// The whole subtree shares its root's track; the other root does not.
+	if trackOf["phase"] != trackOf["run"] || trackOf["retransmit"] != trackOf["run"] {
+		t.Errorf("subtree split across tracks: %v", trackOf)
+	}
+	if trackOf["aux"] == trackOf["run"] {
+		t.Errorf("separate roots share a track: %v", trackOf)
+	}
+	// Durations are microseconds.
+	for _, ev := range events {
+		if ev.Name == "phase" && ev.Dur != 5 {
+			t.Errorf("phase dur = %v µs, want 5", ev.Dur)
+		}
+	}
+}
+
+func TestPerfettoJSONDeterministicAndParseable(t *testing.T) {
+	snap := buildTrace(t)
+	a, err := snap.PerfettoJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snap.PerfettoJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("PerfettoJSON is not deterministic for one snapshot")
+	}
+	var file struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(a, &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Error("no events in file")
+	}
+}
+
+func TestPerfettoJSONEmptySnapshot(t *testing.T) {
+	data, err := Snapshot{}.PerfettoJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("empty snapshot export invalid: %v", err)
+	}
+	if len(file.TraceEvents) != 0 {
+		t.Errorf("empty snapshot produced events: %+v", file.TraceEvents)
+	}
+}

@@ -1,8 +1,8 @@
 package obs
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,10 +44,29 @@ type SpanRecord struct {
 	Attrs   map[string]string `json:"attrs,omitempty"`
 }
 
-// Tracer records parent/child spans against a SimClock. IDs are assigned
-// in Start order, which is deterministic under serial execution.
+// SpanContext is the compact wire form of a span identity: 16 bytes —
+// (trace id, span id) — small enough to ride inside every netsim frame, so
+// a receiver on another simulated node can parent its own spans under a
+// span the sender opened. The zero value means "no context".
+type SpanContext struct {
+	Trace uint64 // tracer identity; process-unique, never exported
+	Span  uint64 // span id within that tracer
+}
+
+// IsZero reports whether the context carries no span.
+func (c SpanContext) IsZero() bool { return c == SpanContext{} }
+
+// traceIDs mints process-unique tracer identities so a context minted by
+// one tracer is never mistaken for a span of another (ids start at 1; 0 is
+// the zero context).
+var traceIDs atomic.Uint64
+
+// Tracer records parent/child spans against a SimClock. Raw IDs are
+// assigned in Start order; exports renumber them canonically (see
+// canonicalSpans), so snapshots do not depend on goroutine interleaving.
 type Tracer struct {
 	clock *SimClock
+	trace uint64 // identity embedded in contexts this tracer mints
 
 	mu    sync.Mutex
 	next  int
@@ -76,6 +95,40 @@ func (t *Tracer) Start(name string, parent *Span) *Span {
 	return &Span{t: t, id: id, idx: len(t.spans) - 1}
 }
 
+// StartRemote opens a span whose parent arrived over the wire as a
+// SpanContext — the receive side of cross-node causality. A zero or
+// foreign context (minted by a different tracer) yields a root span: the
+// link is only trusted within the tracer that minted it.
+func (t *Tracer) StartRemote(name string, ctx SpanContext) *Span {
+	now := int64(t.clock.Now())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	t.spans = append(t.spans, SpanRecord{ID: id, Parent: t.resolve(ctx), Name: name, StartNS: now, EndNS: now})
+	return &Span{t: t, id: id, idx: len(t.spans) - 1}
+}
+
+// Event records an instantaneous child span under a wire context — a
+// retransmission, a duplicate delivery, an ack. It is the cheap path: no
+// handle, no attrs, one record append.
+func (t *Tracer) Event(name string, ctx SpanContext) {
+	now := int64(t.clock.Now())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	t.spans = append(t.spans, SpanRecord{ID: t.next, Parent: t.resolve(ctx), Name: name, StartNS: now, EndNS: now})
+}
+
+// resolve maps a wire context to a local parent id (0 when the context is
+// zero, foreign, or dangling). Callers hold t.mu.
+func (t *Tracer) resolve(ctx SpanContext) int {
+	if ctx.Trace == t.trace && ctx.Span > 0 && ctx.Span <= uint64(t.next) {
+		return int(ctx.Span)
+	}
+	return 0
+}
+
 // End closes the span at the clock's current simulated time.
 func (s *Span) End() {
 	if s == nil || s.t == nil {
@@ -87,6 +140,15 @@ func (s *Span) End() {
 	if s.idx < len(s.t.spans) {
 		s.t.spans[s.idx].EndNS = now
 	}
+}
+
+// Context returns the span's wire context for embedding in outgoing
+// messages. A nil span yields the zero context.
+func (s *Span) Context() SpanContext {
+	if s == nil || s.t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.t.trace, Span: uint64(s.id)}
 }
 
 // Annotate attaches a key/value attribute to the span.
@@ -104,10 +166,11 @@ func (s *Span) Annotate(k, v string) {
 	}
 }
 
-// snapshot copies the span list, sorted by ID.
+// snapshot copies the span list and renumbers it canonically: ids follow
+// the causal structure, not the racy Start order, so a Workers=4 fleet run
+// exports byte-identically across repetitions.
 func (t *Tracer) snapshot() []SpanRecord {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	out := make([]SpanRecord, len(t.spans))
 	copy(out, t.spans)
 	for i := range out {
@@ -119,8 +182,8 @@ func (t *Tracer) snapshot() []SpanRecord {
 			out[i].Attrs = attrs
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	t.mu.Unlock()
+	return canonicalSpans(out)
 }
 
 // importSpans appends foreign spans with IDs rebased past the tracer's

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"pds/internal/netsim"
+	"pds/internal/obs"
 )
 
 // SecureSumOverNetwork runs the [CKV+02] ring protocol over a simulated
@@ -44,6 +45,20 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 		defer net.SetFaults(prev)
 		link = netsim.NewLink(net, rel)
 	}
+	// The ring walk is inherently sequential, so the trace chains each hop
+	// span under the previous one: the critical path of the protocol IS the
+	// ring, and the exported trace shows it as one dependency chain.
+	var tracer *obs.Tracer
+	if reg := net.Observer(); reg != nil {
+		tracer = reg.Tracer()
+	}
+	var ring *obs.Span
+	if tracer != nil {
+		ring = tracer.Start("smc/secure-sum-ring", nil)
+		ring.Annotate("parties", fmt.Sprintf("%d", len(values)))
+		defer ring.End()
+	}
+	prevCtx := ring.Context()
 	hop := func(from, to int, running int64) (int64, error) {
 		var payload [8]byte
 		binary.LittleEndian.PutUint64(payload[:], uint64(running))
@@ -52,8 +67,10 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 			To:      fmt.Sprintf("party-%d", to),
 			Kind:    "ring",
 			Payload: payload[:],
+			Ctx:     prevCtx,
 		}
 		var got int64
+		inCtx := prevCtx
 		if link == nil {
 			net.Send(e)
 			got = running
@@ -61,6 +78,7 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 			delivered := false
 			if err := link.Transfer(e, func(in netsim.Envelope) {
 				got = int64(binary.LittleEndian.Uint64(in.Payload))
+				inCtx = in.Ctx
 				delivered = true
 			}); err != nil {
 				return 0, err
@@ -68,6 +86,13 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 			if !delivered {
 				return 0, fmt.Errorf("smc: ring hop %d→%d acked but not delivered", from, to)
 			}
+		}
+		if tracer != nil {
+			hs := tracer.StartRemote("ring-hop", inCtx)
+			hs.Annotate("from", e.From)
+			hs.Annotate("to", e.To)
+			hs.End()
+			prevCtx = hs.Context()
 		}
 		return got, nil
 	}

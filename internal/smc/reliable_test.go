@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pds/internal/netsim"
+	"pds/internal/obs"
 )
 
 func TestSecureSumOverNetworkCleanMatchesSecureSum(t *testing.T) {
@@ -96,5 +97,70 @@ func TestSecureSumOverNetworkValidation(t *testing.T) {
 	}
 	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 99}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrValueRange) {
 		t.Errorf("out of range: err = %v", err)
+	}
+}
+
+// TestSecureSumOverNetworkRingTrace: with an observer attached, the ring
+// protocol records one ring-hop span per hop, each causally parented
+// under the previous hop (through the transfer span when the reliable
+// link is armed) — the exported trace shows the ring as one chain.
+func TestSecureSumOverNetworkRingTrace(t *testing.T) {
+	net := netsim.New()
+	reg := obs.NewRegistry()
+	net.SetObserver(reg)
+	values := []int64{5, 7, 11, 13}
+	mod := int64(1 << 30)
+	plan := &netsim.FaultPlan{Seed: 9, Default: netsim.FaultSpec{Drop: 0.1}}
+	got, _, _, err := SecureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(4)), plan, netsim.Reliability{MaxRetries: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 36 {
+		t.Fatalf("sum = %d, want 36", got)
+	}
+	spans := reg.Snapshot().Spans
+	byID := map[int]obs.SpanRecord{}
+	var ringRoot obs.SpanRecord
+	var hops []obs.SpanRecord
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		switch sp.Name {
+		case "smc/secure-sum-ring":
+			ringRoot = sp
+		case "ring-hop":
+			hops = append(hops, sp)
+		}
+	}
+	if ringRoot.ID == 0 {
+		t.Fatal("no ring root span")
+	}
+	// n parties -> n hops (including the closing hop back to party 0).
+	if len(hops) != len(values) {
+		t.Fatalf("ring-hop spans = %d, want %d", len(hops), len(values))
+	}
+	// Every hop's ancestry must reach the ring root, and hop depths must
+	// strictly increase: each hop hangs under its predecessor.
+	depth := func(sp obs.SpanRecord) int {
+		d := 0
+		for sp.Parent != 0 {
+			sp = byID[sp.Parent]
+			d++
+		}
+		return d
+	}
+	seen := map[int]bool{}
+	for _, h := range hops {
+		root := h
+		for root.Parent != 0 {
+			root = byID[root.Parent]
+		}
+		if root.ID != ringRoot.ID {
+			t.Errorf("hop %d not rooted at the ring span", h.ID)
+		}
+		d := depth(h)
+		if seen[d] {
+			t.Errorf("two hops at depth %d — ring did not chain", d)
+		}
+		seen[d] = true
 	}
 }

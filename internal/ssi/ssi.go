@@ -18,9 +18,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"pds/internal/netsim"
+	"pds/internal/obs"
 )
 
 // Mode selects the adversary model of the server.
@@ -79,6 +81,7 @@ type Server struct {
 	inbox    []netsim.Envelope
 	obs      Observations
 	payloads map[string]bool
+	trace    obs.SpanContext
 }
 
 // New creates a server in the given mode.
@@ -94,6 +97,15 @@ func New(net *netsim.Network, mode Mode, b Behavior) *Server {
 
 // Mode returns the adversary mode.
 func (s *Server) Mode() Mode { return s.mode }
+
+// BindTrace parents the server's next partition span under the given wire
+// context (typically the querier's partition-phase span). A zero context
+// unbinds; the span then becomes a root.
+func (s *Server) BindTrace(ctx obs.SpanContext) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace = ctx
+}
 
 // Receive stores one envelope (a PDS upload). The server dutifully records
 // what it observes.
@@ -161,8 +173,14 @@ func (s *Server) Partition(chunkSize int) ([][]netsim.Envelope, error) {
 	defer s.mu.Unlock()
 	work := s.inbox
 	s.inbox = nil
+	var sp *obs.Span
+	if reg := s.net.Observer(); reg != nil {
+		sp = reg.Tracer().StartRemote("ssi/partition", s.trace)
+		sp.Annotate("mode", s.mode.String())
+		sp.Annotate("envelopes", strconv.Itoa(len(work)))
+	}
 	if s.mode == WeaklyMalicious {
-		work = s.corrupt(work)
+		work = s.corrupt(work, sp.Context())
 	}
 	var chunks [][]netsim.Envelope
 	for len(work) > 0 {
@@ -173,6 +191,8 @@ func (s *Server) Partition(chunkSize int) ([][]netsim.Envelope, error) {
 		chunks = append(chunks, work[:n])
 		work = work[n:]
 	}
+	sp.Annotate("chunks", strconv.Itoa(len(chunks)))
+	sp.End()
 	return chunks, nil
 }
 
@@ -187,12 +207,13 @@ const MetricCorrupt = "ssi_corrupt_total"
 // from a seeded hash of its inbox position rather than a stateful PRNG,
 // so the attack schedule is a pure function of (Behavior, upload order)
 // and replays exactly for debugging a detected run.
-func (s *Server) corrupt(in []netsim.Envelope) []netsim.Envelope {
+func (s *Server) corrupt(in []netsim.Envelope, ctx obs.SpanContext) []netsim.Envelope {
 	b := s.behavior
 	reg := s.net.Observer()
 	note := func(action string) {
 		if reg != nil {
 			reg.Counter(MetricCorrupt, "action", action).Inc()
+			reg.Tracer().Event("ssi-"+action, ctx)
 		}
 	}
 	var out []netsim.Envelope
