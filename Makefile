@@ -8,11 +8,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race fuzz cover lint-determinism smoke-metrics smoke-trace bench-part3 bench-snapshot bench-snapshot-ci
+.PHONY: ci build test vet race fuzz cover lint-determinism smoke-metrics smoke-trace perf-regression bench-part3 bench-snapshot bench-snapshot-ci
 
 # Where `make bench-snapshot` writes the perf snapshot. Committed per PR
 # (BENCH_PR<n>.json) so performance trajectories stay diffable.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 
 build:
 	$(GO) build ./...
@@ -61,7 +61,13 @@ smoke-trace:
 	$(GO) test ./cmd/pdsbench -run '^TestTraceExportSmoke$$' -count=1
 	$(GO) test ./cmd/pdsctl -run '^TestCLITraceRoundTrip$$' -count=1
 
-ci: vet build test race fuzz cover lint-determinism smoke-metrics smoke-trace bench-snapshot-ci
+# Perf gate on the hierarchical fold plane (DESIGN §10): at 1e4 tokens the
+# tree topology's simulated critical path must stay strictly below the
+# flat plane's, with bit-identical aggregates.
+perf-regression:
+	$(GO) test ./cmd/pdsbench -run '^TestE20TreeCriticalPathRegression$$' -count=1
+
+ci: vet build test race fuzz cover lint-determinism smoke-metrics smoke-trace perf-regression bench-snapshot-ci
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:

@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"pds/internal/gquery"
 	"pds/internal/netsim"
@@ -31,6 +32,11 @@ type benchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Gomaxprocs is the GOMAXPROCS the benchmark body actually ran under.
+	// Parallel rows are pinned to runtime.NumCPU(), so this differs from
+	// the snapshot-level launch value whenever the process was started
+	// with a restricted GOMAXPROCS.
+	Gomaxprocs int `json:"gomaxprocs"`
 	// SimCriticalNS is the critical-path total of one observed run's span
 	// tree: the simulated time the protocol cannot go below regardless of
 	// token-fleet parallelism.
@@ -41,9 +47,13 @@ type benchEntry struct {
 
 // benchSnapshot is the file format of `make bench-snapshot`.
 type benchSnapshot struct {
-	Suite      string       `json:"suite"`
-	GoVersion  string       `json:"go_version"`
+	Suite     string `json:"suite"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the launch-time value; NumCPU the machine's core
+	// count. Individual rows record the (possibly pinned) value they ran
+	// under in their own gomaxprocs field.
 	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
 	Quick      bool         `json:"quick"`
 	Benchmarks []benchEntry `json:"benchmarks"`
 }
@@ -56,11 +66,19 @@ type simTotals struct {
 }
 
 // benchSpec pairs a wall-clock benchmark body with an optional
-// simulated-cost probe.
+// simulated-cost probe. Exactly one of run/once is set: run goes through
+// testing.Benchmark (auto-scaled N), once executes a single timed shot —
+// for the large streaming rows whose one iteration already dominates the
+// measurement and whose sim totals come from the same observed run.
 type benchSpec struct {
 	name string
 	run  func(b *testing.B)
 	sim  func() (simTotals, error)
+	once func() (time.Duration, simTotals, error)
+	// procs pins GOMAXPROCS for this row (0 = leave the launch value).
+	// Parallel rows set runtime.NumCPU() so snapshots taken on a
+	// GOMAXPROCS=1 launch still measure real parallelism.
+	procs int
 }
 
 const benchSnapSeed = 42
@@ -163,7 +181,8 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 			sim: func() (simTotals, error) { return gquerySim(gquery.Serial(), secureAggRun, n) },
 		},
 		{
-			name: "E6SecureAggParallel",
+			name:  "E6SecureAggParallel",
+			procs: runtime.NumCPU(),
 			run: func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					net := netsim.New()
@@ -287,7 +306,64 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 			},
 		},
 	}
+
+	// E20 flat-vs-tree scaling rows: one streaming secure-agg shot per
+	// fleet size. Tree sim_critical_ns should grow ~log n while flat
+	// grows ~n — the trajectory the hierarchical fold plane exists for.
+	fleets := []int{1_000, 10_000, 1_000_000}
+	if quick {
+		fleets = []int{1_000, 10_000}
+	}
+	for _, fleet := range fleets {
+		fleet := fleet
+		specs = append(specs,
+			e20StreamSpec(fmt.Sprintf("E20StreamFlat%s", fleetLabel(fleet)), fleet, gquery.Flat()),
+			e20StreamSpec(fmt.Sprintf("E20StreamTree%s", fleetLabel(fleet)), fleet, gquery.Tree(16)),
+		)
+	}
 	return specs, nil
+}
+
+// fleetLabel renders a fleet size compactly for a benchmark name
+// (1000 → "1k", 1000000 → "1M").
+func fleetLabel(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dk", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// e20StreamSpec builds a once-mode row: one memory-bounded streaming
+// secure-agg run over a generated fleet (1 tuple each), wall clock and
+// simulated totals taken from the same execution.
+func e20StreamSpec(name string, fleet int, topo gquery.Topology) benchSpec {
+	return benchSpec{
+		name: name,
+		once: func() (time.Duration, simTotals, error) {
+			kr, err := gquery.KeyringFrom(make([]byte, 32))
+			if err != nil {
+				return 0, simTotals{}, err
+			}
+			net := netsim.New()
+			srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
+			src := workload.ParticipantStream(fleet, 1, benchSnapSeed)
+			start := time.Now()
+			_, stats, err := gquery.New(gquery.WithTopology(topo)).SecureAggStream(net, srv, src, kr, 64)
+			wall := time.Since(start)
+			if err != nil {
+				return 0, simTotals{}, err
+			}
+			return wall, simTotals{
+				criticalNS: stats.CriticalPath.TotalNS,
+				messages:   stats.Net.Messages,
+				bytes:      stats.Net.Bytes,
+			}, nil
+		},
+	}
 }
 
 // runBenchSnapshot executes the suite and writes the snapshot to path
@@ -301,34 +377,18 @@ func runBenchSnapshot(path string, quick bool) error {
 		Suite:      "pds-part23",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      quick,
 	}
 	for _, spec := range specs {
 		fmt.Fprintf(os.Stderr, "bench %-28s ", spec.name)
-		body := spec.run
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			body(b)
-		})
-		entry := benchEntry{
-			Name:        spec.name,
-			N:           res.N,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-		}
-		if spec.sim != nil {
-			st, err := spec.sim()
-			if err != nil {
-				return fmt.Errorf("%s: sim probe: %w", spec.name, err)
-			}
-			entry.SimCriticalNS = st.criticalNS
-			entry.WireMessages = st.messages
-			entry.WireBytes = st.bytes
+		entry, err := runBenchSpec(spec)
+		if err != nil {
+			return err
 		}
 		snap.Benchmarks = append(snap.Benchmarks, entry)
-		fmt.Fprintf(os.Stderr, "%10d ns/op %8d B/op %6d allocs/op\n",
-			int64(entry.NsPerOp), entry.BytesPerOp, entry.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "%10d ns/op %8d B/op %6d allocs/op (procs=%d)\n",
+			int64(entry.NsPerOp), entry.BytesPerOp, entry.AllocsPerOp, entry.Gomaxprocs)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -340,4 +400,45 @@ func runBenchSnapshot(path string, quick bool) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runBenchSpec executes one row, honoring its GOMAXPROCS pin and
+// once-vs-looped mode, and stamps the procs the body ran under.
+func runBenchSpec(spec benchSpec) (benchEntry, error) {
+	if spec.procs > 0 {
+		prev := runtime.GOMAXPROCS(spec.procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	entry := benchEntry{Name: spec.name, Gomaxprocs: runtime.GOMAXPROCS(0)}
+	if spec.once != nil {
+		wall, st, err := spec.once()
+		if err != nil {
+			return entry, fmt.Errorf("%s: %w", spec.name, err)
+		}
+		entry.N = 1
+		entry.NsPerOp = float64(wall.Nanoseconds())
+		entry.SimCriticalNS = st.criticalNS
+		entry.WireMessages = st.messages
+		entry.WireBytes = st.bytes
+		return entry, nil
+	}
+	body := spec.run
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		body(b)
+	})
+	entry.N = res.N
+	entry.NsPerOp = float64(res.T.Nanoseconds()) / float64(res.N)
+	entry.BytesPerOp = res.AllocedBytesPerOp()
+	entry.AllocsPerOp = res.AllocsPerOp()
+	if spec.sim != nil {
+		st, err := spec.sim()
+		if err != nil {
+			return entry, fmt.Errorf("%s: sim probe: %w", spec.name, err)
+		}
+		entry.SimCriticalNS = st.criticalNS
+		entry.WireMessages = st.messages
+		entry.WireBytes = st.bytes
+	}
+	return entry, nil
 }

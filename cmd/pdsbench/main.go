@@ -1,5 +1,5 @@
 // Command pdsbench regenerates every experiment of the reproduction
-// (E1–E18 in DESIGN.md / EXPERIMENTS.md): the Part II embedded-database
+// (E1–E20 in DESIGN.md / EXPERIMENTS.md): the Part II embedded-database
 // and search-engine cost comparisons, the Part III secure global
 // computation protocols, PPDP, folder synchronization, and the
 // covert-adversary detection study.
@@ -59,6 +59,7 @@ var experiments = []experiment{
 	{"E16", "Spatio-temporal store (extension)", runE16},
 	{"E17", "Design-choice ablations: Bloom bits, buckets, chunk size", runE17},
 	{"E18", "Fault-tolerant Part III execution under injected faults (robustness)", runE18},
+	{"E20", "Hierarchical fan-in scaling: flat vs tree critical path, bounded memory", runE20},
 }
 
 func main() {

@@ -6,7 +6,6 @@ import (
 	"pds/internal/netsim"
 	"pds/internal/obs"
 	"pds/internal/privcrypto"
-	"pds/internal/ssi"
 )
 
 // Engine is the option-based execution surface of the Part III protocol
@@ -61,6 +60,19 @@ func WithBackoff(d time.Duration) Option {
 	return func(c *RunConfig) { c.Backoff = d }
 }
 
+// WithTopology selects the fan-in structure of the aggregation plane:
+// Flat() (the default) or Tree(arity). Results are identical across
+// topologies; the critical path is not — that is the point.
+func WithTopology(t Topology) Option {
+	return func(c *RunConfig) { c.Topology = t }
+}
+
+// WithMaxInflight bounds how many filled-but-unfolded chunks a
+// streaming run may buffer at once (see SecureAggStream).
+func WithMaxInflight(n int) Option {
+	return func(c *RunConfig) { c.MaxInflight = n }
+}
+
 // WithObserver merges every run's metrics and spans into reg at the end of
 // the run — the hook pdsbench uses to collect one snapshot across a whole
 // experiment.
@@ -85,27 +97,27 @@ func (e *Engine) Config() RunConfig { return e.cfg }
 
 // SecureAgg runs the secure-aggregation protocol (non-deterministic
 // encryption, blind partitioning, worker-token aggregation).
-func (e *Engine) SecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func (e *Engine) SecureAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	chunkSize int) (Result, RunStats, error) {
 	return RunSecureAggCfg(net, srv, parts, kr, chunkSize, e.cfg)
 }
 
 // Noise runs the noise-based protocol (deterministic grouping attribute +
 // fake tuples).
-func (e *Engine) Noise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func (e *Engine) Noise(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
 	return RunNoiseCfg(net, srv, parts, kr, domain, noisePerTuple, kind, seed, e.cfg)
 }
 
 // Histogram runs the histogram-based protocol (equi-depth buckets).
-func (e *Engine) Histogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func (e *Engine) Histogram(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	buckets []Bucket) (BucketResult, RunStats, error) {
 	return RunHistogramCfg(net, srv, parts, kr, buckets, e.cfg)
 }
 
 // PaillierAgg runs the additively homomorphic protocol (the SSI aggregates
 // ciphertexts itself; only per-group sums visit the decryption token).
-func (e *Engine) PaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func (e *Engine) PaillierAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey) (Result, RunStats, error) {
 	return RunPaillierAggCfg(net, srv, parts, kr, pk, sk, e.cfg)
 }

@@ -161,6 +161,12 @@ type RunStats struct {
 	TagFailures  int           // frames rejected by the transport integrity tag
 	RetryBackoff time.Duration // simulated time spent backing off between retries
 
+	// Tree-topology shape, zero under Flat(): how many fold levels the
+	// partials climbed (leaf level included) and how many interior token
+	// folds the tree spent doing it.
+	TreeDepth int
+	TreeNodes int
+
 	// CriticalPath is the critical-path report over the run's span tree:
 	// longest dependency chain vs. parallel slack, broken down by phase.
 	CriticalPath obs.CriticalPath

@@ -7,7 +7,6 @@ import (
 	"strconv"
 
 	"pds/internal/netsim"
-	"pds/internal/obs"
 	"pds/internal/ssi"
 )
 
@@ -93,7 +92,7 @@ type BucketResult map[int]GroupAgg
 // result is coarse: per bucket, not per group (see EstimateGroups).
 //
 // Deprecated: use New().Histogram.
-func RunHistogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func RunHistogram(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	buckets []Bucket) (BucketResult, RunStats, error) {
 	return RunHistogramCfg(net, srv, parts, kr, buckets, Serial())
 }
@@ -103,7 +102,7 @@ func RunHistogram(net *netsim.Network, srv *ssi.Server, parts []Participant, kr 
 // tokens, scheduled in bucket-id order so results match the serial run.
 //
 // Deprecated: use New(WithConfig(cfg)).Histogram.
-func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func RunHistogramCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	buckets []Bucket, cfg RunConfig) (BucketResult, RunStats, error) {
 
 	var stats RunStats
@@ -136,7 +135,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 			binary.LittleEndian.PutUint16(body[:2], uint16(bkt))
 			copy(body[2:], vct)
 			if err := tp.send(netsim.Envelope{
-				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, body),
+				From: p.ID, To: srv.Dest(p.ID), Kind: "tuple", Payload: seal(kr, body),
 			}, srv.Receive); err != nil {
 				return nil, stats, err
 			}
@@ -144,7 +143,7 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	}
 	// Phase barrier: delayed uploads surface before partitioning.
 	tp.barrier(srv.Receive)
-	tp.phase(PhasePartition)
+	tp.endCollect()
 	srv.BindTrace(tp.ro.curCtx())
 
 	chunks, err := srv.Partition(1 << 30)
@@ -174,78 +173,70 @@ func RunHistogramCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 		ids = append(ids, bkt)
 	}
 	sort.Ints(ids)
-	type bucketOutcome struct {
-		agg         GroupAgg
-		idSum       uint64
-		count       int64
-		macFailures int
-		err         error
+	// The bucket aggregate lives in the partial's Aggs map under the
+	// bucket id's decimal key, so per-bucket aggregates survive a tree
+	// merge without collapsing into each other. In the flat topology the
+	// wire partial stays the historical 48-byte placeholder (the final
+	// token only checks idSum/count); in the tree topology partials must
+	// actually ride upward, so they are sealed for real.
+	sealFn := func(out *chunkOutcome) ([]byte, error) { return make([]byte, 48), nil }
+	if cfg.Topology.IsTree() {
+		sealFn = sealedPartial(kr)
 	}
-	outs := make([]bucketOutcome, len(ids))
+	outs := make([]chunkOutcome, len(ids))
 	cfg.forEachChunk(len(ids), func(i int) {
-		w := parts[i%len(parts)].ID
-		out := &outs[i]
-		disp := tp.ro.span("ssi-dispatch", PhasePartition, "chunk", strconv.Itoa(ids[i]), "worker", w)
-		defer disp.End()
-		var fold *obs.Span
-		defer func() { fold.End() }()
-		for _, env := range byBucket[ids[i]] {
-			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "bucket-chunk", Payload: env.Payload, Ctx: disp.Context()},
-				func(e netsim.Envelope) {
-					if fold == nil {
-						fold = tp.ro.remoteSpan(PhaseTokenFold, e.Ctx, "chunk", strconv.Itoa(ids[i]), "worker", w)
-					}
-					body, err := open(kr, e.Payload)
-					if err != nil {
-						out.macFailures++
-						return
-					}
-					pt, err := kr.NonDet.Decrypt(body[2:])
-					if err != nil {
-						out.macFailures++
-						return
-					}
-					t, err := decodeTuplePlain(pt)
-					if err != nil {
-						out.err = err
-						return
-					}
-					out.idSum += t.ID
-					out.count++
-					out.agg = out.agg.Fold(t.Value)
-				})
-			if sendErr != nil && out.err == nil {
-				out.err = sendErr
-			}
-			if out.err != nil {
+		key := strconv.Itoa(ids[i])
+		proc := func(out *chunkOutcome, e netsim.Envelope) {
+			body, err := open(kr, e.Payload)
+			if err != nil {
+				out.macFailures++
 				return
 			}
+			pt, err := kr.NonDet.Decrypt(body[2:])
+			if err != nil {
+				out.macFailures++
+				return
+			}
+			t, err := decodeTuplePlain(pt)
+			if err != nil {
+				out.err = err
+				return
+			}
+			out.partial.IDSum += t.ID
+			out.partial.Count++
+			out.partial.Aggs[key] = out.partial.Aggs[key].Fold(t.Value)
 		}
-		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: make([]byte, 48), Ctx: fold.Context()}, nil); err != nil && out.err == nil {
-			out.err = err
-		}
+		outs[i] = tp.runFold(
+			foldJob{worker: parts[i%len(parts)].ID, kind: "bucket-chunk", label: key},
+			byBucket[ids[i]], proc, sealFn)
 	})
+	partials, leaves, err := tp.foldOutcomes(outs, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	if cfg.Topology.IsTree() {
+		if partials, err = tp.reduceTree(kr, parts, leaves, cfg.Topology.Arity(), &stats); err != nil {
+			return nil, stats, err
+		}
+	} else {
+		tp.phase(PhaseMerge)
+	}
+	tp.barrier(nil)
 	res := BucketResult{}
 	var idSum uint64
 	var count int64
-	for i, out := range outs {
-		stats.MACFailures += out.macFailures
-		if out.macFailures > 0 {
-			stats.Detected = true
-		}
-		if out.err != nil {
-			return nil, stats, out.err
-		}
-		stats.WorkerCalls++
-		idSum += out.idSum
-		count += out.count
-		if bkt := ids[i]; bkt >= 0 {
-			res[bkt] = res[bkt].Merge(out.agg)
+	for _, p := range partials {
+		idSum += p.IDSum
+		count += p.Count
+		for key, agg := range p.Aggs {
+			// Bucket -1 collects malformed envelopes: flagged by the
+			// token, excluded from the result.
+			if bkt, err := strconv.Atoi(key); err == nil && bkt >= 0 {
+				res[bkt] = res[bkt].Merge(agg)
+			}
 		}
 	}
-
-	tp.phase(PhaseMerge)
-	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, nil)
 	if idSum != wantID || count != wantCount {
 		stats.Detected = true

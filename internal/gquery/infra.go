@@ -1,0 +1,40 @@
+package gquery
+
+import (
+	"pds/internal/netsim"
+	"pds/internal/obs"
+)
+
+// Infra is the Supporting Server Infrastructure surface the Part III
+// protocols drive. It is satisfied by a single *ssi.Server — the
+// historical one-node SSI — and by *ssi.ShardSet, which partitions the
+// tuple space across several SSI nodes, each with its own fault-plane
+// kinds and ARQ links (the transport keys links per upload destination,
+// see linkKey).
+type Infra interface {
+	// Receive ingests one PDS upload.
+	Receive(e netsim.Envelope)
+	// Partition consumes the inbox into chunks of at most chunkSize
+	// envelopes; a weakly-malicious infra misbehaves here. A sharded
+	// infra concatenates its shards' chunk lists in shard order.
+	Partition(chunkSize int) ([][]netsim.Envelope, error)
+	// ObserveGroup records the opaque key under which the infra grouped
+	// an envelope — the leakage channel of the deterministic protocols.
+	ObserveGroup(key []byte)
+	// BindTrace parents the infra's partition spans under a wire context.
+	BindTrace(ctx obs.SpanContext)
+	// Dest names the wire destination for an upload from the given PDS:
+	// "ssi" for a single server, "ssi:<shard>" under sharding.
+	Dest(pds string) string
+}
+
+// StreamInfra is an Infra that can partition without materializing an
+// inbox: between StartStream and FinishStream, uploads are grouped into
+// chunks as they arrive and handed to the emit callback as soon as each
+// chunk fills, so the infra holds at most one partial chunk per shard —
+// the memory-bound contract of SecureAggStream.
+type StreamInfra interface {
+	Infra
+	StartStream(chunkSize int, emit func(chunk []netsim.Envelope)) error
+	FinishStream()
+}

@@ -8,7 +8,6 @@ import (
 	"strconv"
 
 	"pds/internal/netsim"
-	"pds/internal/obs"
 	"pds/internal/ssi"
 )
 
@@ -50,7 +49,7 @@ func (k NoiseKind) String() string {
 // Results are exact; leakage is the noised frequency histogram.
 //
 // Deprecated: use New().Noise.
-func RunNoise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func RunNoise(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
 	return RunNoiseCfg(net, srv, parts, kr, domain, noisePerTuple, kind, seed, Serial())
 }
@@ -61,7 +60,7 @@ func RunNoise(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Key
 // order, so results match the serial run.
 //
 // Deprecated: use New(WithConfig(cfg)).Noise.
-func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func RunNoiseCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64, cfg RunConfig) (Result, RunStats, error) {
 
 	var stats RunStats
@@ -100,7 +99,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			copy(payload[2:], gct)
 			copy(payload[2+len(gct):], vct)
 			return tp.send(netsim.Envelope{
-				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, payload),
+				From: p.ID, To: srv.Dest(p.ID), Kind: "tuple", Payload: seal(kr, payload),
 			}, srv.Receive)
 		}
 		held := map[string]bool{}
@@ -131,7 +130,7 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 
 	// Phase barrier: delayed uploads surface before grouping.
 	tp.barrier(srv.Receive)
-	tp.phase(PhasePartition)
+	tp.endCollect()
 	srv.BindTrace(tp.ro.curCtx())
 
 	// The SSI groups by equal deterministic ciphertext — its whole
@@ -165,6 +164,8 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	// processEnv is the noise protocol's envelope fold: skip past the
+	// deterministic group ciphertext, decrypt the tuple, discard fakes.
 	processEnv := func(out *chunkOutcome, env netsim.Envelope) {
 		body, err := open(kr, env.Payload)
 		if err != nil {
@@ -189,58 +190,21 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			out.partial.Aggs[t.Group] = out.partial.Aggs[t.Group].Fold(t.Value)
 		}
 	}
-	runToken := func(out *chunkOutcome, w string, envs []netsim.Envelope, sealPartial bool, label string) {
-		disp := tp.ro.span("ssi-dispatch", PhasePartition, "chunk", label, "worker", w)
-		defer disp.End()
-		var fold *obs.Span
-		defer func() { fold.End() }()
-		out.partial = partialAgg{Aggs: map[string]GroupAgg{}}
-		for _, env := range envs {
-			sendErr := tp.send(netsim.Envelope{From: "ssi", To: w, Kind: "group-chunk", Payload: env.Payload, Ctx: disp.Context()},
-				func(e netsim.Envelope) {
-					if fold == nil {
-						fold = tp.ro.remoteSpan(PhaseTokenFold, e.Ctx, "chunk", label, "worker", w)
-					}
-					processEnv(out, e)
-				})
-			if sendErr != nil && out.err == nil {
-				out.err = sendErr
-			}
-			if out.err != nil {
-				return
-			}
-		}
-		if !sealPartial {
-			return
-		}
-		pct, err := kr.NonDet.Encrypt(encodePartial(out.partial))
-		if err != nil {
-			out.err = err
-			return
-		}
-		if err := tp.send(netsim.Envelope{From: w, To: "ssi", Kind: "partial", Payload: seal(kr, pct), Ctx: fold.Context()}, nil); err != nil {
-			out.err = err
-		}
-	}
 	outs := make([]chunkOutcome, len(keys))
 	cfg.forEachChunk(len(keys), func(i int) {
-		runToken(&outs[i], parts[i%len(parts)].ID, groups[keys[i]], true, strconv.Itoa(i))
+		outs[i] = tp.runFold(
+			foldJob{worker: parts[i%len(parts)].ID, kind: "group-chunk", label: strconv.Itoa(i)},
+			groups[keys[i]], processEnv, sealedPartial(kr))
 	})
-	var partials []partialAgg
-	for _, out := range outs {
-		stats.MACFailures += out.macFailures
-		if out.macFailures > 0 {
-			stats.Detected = true
-		}
-		if out.err != nil {
-			return nil, stats, out.err
-		}
-		stats.WorkerCalls++
-		partials = append(partials, out.partial)
+	partials, leaves, err := tp.foldOutcomes(outs, &stats)
+	if err != nil {
+		return nil, stats, err
 	}
 	if len(forged) > 0 {
-		var out chunkOutcome
-		runToken(&out, parts[0].ID, forged, false, "forged")
+		// Malformed envelopes visit a token without a partial upload: the
+		// token's only job is to flag them (its partial rides locally in
+		// the flat topology, sealed on demand by the tree reduce).
+		out := tp.runFold(foldJob{worker: parts[0].ID, kind: "group-chunk", label: "forged"}, forged, processEnv, nil)
 		stats.MACFailures += out.macFailures
 		if out.macFailures > 0 {
 			stats.Detected = true
@@ -249,10 +213,17 @@ func RunNoiseCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *
 			return nil, stats, out.err
 		}
 		partials = append(partials, out.partial)
+		leaves = append(leaves, leafPartial{partial: out.partial, worker: out.worker, end: out.wire.Time(tp.ro.cost)})
 	}
 
 	// Merge + integrity check.
-	tp.phase(PhaseMerge)
+	if cfg.Topology.IsTree() {
+		if partials, err = tp.reduceTree(kr, parts, leaves, cfg.Topology.Arity(), &stats); err != nil {
+			return nil, stats, err
+		}
+	} else {
+		tp.phase(PhaseMerge)
+	}
 	tp.barrier(nil)
 	wantID, wantCount := expectedChecksum(parts, fakesPer)
 	res, detected := mergePartials(partials, wantID, wantCount)

@@ -96,6 +96,22 @@ func (ro *runObs) phase(name string) {
 	ro.phases[name] = ro.cur
 }
 
+// phasePar closes the current phase after a parallel makespan instead
+// of the serial traffic charge: the phase's wire traffic was executed
+// on overlapping per-token timelines whose longest chain is makespan,
+// so the traffic accumulated since the last barrier is absorbed (not
+// re-charged serially) and the clock advances by the makespan alone.
+// This is how tree and streaming runs model the paper's asymmetric
+// architecture, where the token fleet — not one merge token — does the
+// folding.
+func (ro *runObs) phasePar(name string, makespan time.Duration) {
+	ro.last = ro.traffic()
+	ro.reg.Clock().Advance(makespan)
+	ro.cur.End()
+	ro.cur = ro.reg.Tracer().Start(name, ro.root)
+	ro.phases[name] = ro.cur
+}
+
 // curCtx is the wire context of the current phase span — the default
 // causal parent for envelopes sent during the phase.
 func (ro *runObs) curCtx() obs.SpanContext { return ro.cur.Context() }

@@ -30,7 +30,7 @@ import (
 // the id list with each group so the final token can verify the checksum.
 //
 // Deprecated: use New().PaillierAgg.
-func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func RunPaillierAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey) (Result, RunStats, error) {
 	return RunPaillierAggCfg(net, srv, parts, kr, pk, sk, Serial())
 }
@@ -41,8 +41,11 @@ func RunPaillierAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, k
 // and the observer. Paillier ciphertexts ride the wire at the key's fixed
 // width (pk.CipherLen), keeping byte-level accounting deterministic.
 //
+// RunConfig.Topology does not apply here: the SSI folds ciphertexts
+// itself, so there is no token fold plane to arrange into a tree.
+//
 // Deprecated: use New(WithConfig(cfg)).PaillierAgg.
-func RunPaillierAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring,
+func RunPaillierAggCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
 	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey, cfg RunConfig) (Result, RunStats, error) {
 
 	var stats RunStats
@@ -86,7 +89,7 @@ func RunPaillierAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant
 			off := len(payload)
 			payload = payload[:off+cipherLen]
 			vct.FillBytes(payload[off:])
-			if err := tp.send(netsim.Envelope{From: p.ID, To: "ssi", Kind: "tuple", Payload: payload},
+			if err := tp.send(netsim.Envelope{From: p.ID, To: srv.Dest(p.ID), Kind: "tuple", Payload: payload},
 				srv.Receive); err != nil {
 				return nil, stats, err
 			}
@@ -94,7 +97,7 @@ func RunPaillierAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant
 	}
 	// Phase barrier: delayed uploads surface before grouping.
 	tp.barrier(srv.Receive)
-	tp.phase(PhasePartition)
+	tp.endCollect()
 	srv.BindTrace(tp.ro.curCtx())
 
 	// The SSI groups by det ciphertext and aggregates homomorphically.

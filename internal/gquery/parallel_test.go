@@ -8,6 +8,7 @@ import (
 	"pds/internal/obs"
 	"pds/internal/ssi"
 )
+
 // statsMatch compares run stats ignoring the critical-path report: the
 // span tree of a parallel run legitimately differs from the serial one
 // (that difference IS the parallel slack), while every cost and
@@ -17,7 +18,6 @@ func statsMatch(a, b RunStats) bool {
 	b.CriticalPath = obs.CriticalPath{}
 	return reflect.DeepEqual(a, b)
 }
-
 
 // runBoth executes the same secure-agg inputs serially and over the full
 // token fleet, on fresh network/SSI instances with identical adversary

@@ -88,6 +88,13 @@ func batteryRunners(t *testing.T) []protoRunner {
 	}
 }
 
+// batteryTopologies is the fold-plane axis of the battery: the flat
+// historical round trip and two tree shapes (degenerate binary, default
+// arity).
+func batteryTopologies() []Topology {
+	return []Topology{Flat(), Tree(2), Tree(16)}
+}
+
 // batteryPlans are the wire conditions of the battery, clean included.
 func batteryPlans() []struct {
 	name string
@@ -128,22 +135,24 @@ func TestPropertyFaultToleranceExact(t *testing.T) {
 				}
 			}
 			for _, workers := range []int{1, 8} {
-				for _, fp := range batteryPlans() {
-					name := fmt.Sprintf("%s/wl%d/w%d/%s", r.name, wl, workers, fp.name)
-					t.Run(name, func(t *testing.T) {
-						cfg := RunConfig{Workers: workers, Faults: fp.plan, MaxRetries: 25}
-						got, stats, err := r.run(t, parts, ssi.HonestButCurious, ssi.Behavior{}, cfg)
-						if err != nil {
-							t.Fatalf("honest run failed: %v (stats %+v)", err, stats)
-						}
-						if got != baseline {
-							t.Fatalf("result diverges from fault-free serial baseline\n got %s\nwant %s", got, baseline)
-						}
-						if fp.plan != nil && stats.Net.Messages <= baseStats.Net.Messages {
-							t.Errorf("faulty wire cost %d messages, want > clean %d (frames + acks)",
-								stats.Net.Messages, baseStats.Net.Messages)
-						}
-					})
+				for _, topo := range batteryTopologies() {
+					for _, fp := range batteryPlans() {
+						name := fmt.Sprintf("%s/wl%d/w%d/%s/%s", r.name, wl, workers, topo, fp.name)
+						t.Run(name, func(t *testing.T) {
+							cfg := RunConfig{Workers: workers, Faults: fp.plan, MaxRetries: 25, Topology: topo}
+							got, stats, err := r.run(t, parts, ssi.HonestButCurious, ssi.Behavior{}, cfg)
+							if err != nil {
+								t.Fatalf("honest run failed: %v (stats %+v)", err, stats)
+							}
+							if got != baseline {
+								t.Fatalf("result diverges from fault-free serial baseline\n got %s\nwant %s", got, baseline)
+							}
+							if fp.plan != nil && stats.Net.Messages <= baseStats.Net.Messages {
+								t.Errorf("faulty wire cost %d messages, want > clean %d (frames + acks)",
+									stats.Net.Messages, baseStats.Net.Messages)
+							}
+						})
+					}
 				}
 			}
 		}
@@ -173,34 +182,36 @@ func TestPropertyMaliciousNeverWrong(t *testing.T) {
 		}
 		for _, bh := range behaviors {
 			for _, workers := range []int{1, 8} {
-				for _, fp := range []struct {
-					name string
-					plan *netsim.FaultPlan
-				}{
-					{"clean-wire", nil},
-					{"faulty-wire", &netsim.FaultPlan{Seed: 105, Default: netsim.FaultSpec{Drop: 0.1, Duplicate: 0.1}}},
-				} {
-					name := fmt.Sprintf("%s/%s/w%d/%s", r.name, bh.name, workers, fp.name)
-					t.Run(name, func(t *testing.T) {
-						cfg := RunConfig{Workers: workers, Faults: fp.plan, MaxRetries: 25}
-						got, _, err := r.run(t, parts, ssi.WeaklyMalicious, bh.b, cfg)
-						switch {
-						case err == nil:
-							if got != baseline {
-								t.Fatalf("undetected misbehaviour changed the result\n got %s\nwant %s", got, baseline)
+				for _, topo := range batteryTopologies() {
+					for _, fp := range []struct {
+						name string
+						plan *netsim.FaultPlan
+					}{
+						{"clean-wire", nil},
+						{"faulty-wire", &netsim.FaultPlan{Seed: 105, Default: netsim.FaultSpec{Drop: 0.1, Duplicate: 0.1}}},
+					} {
+						name := fmt.Sprintf("%s/%s/w%d/%s/%s", r.name, bh.name, workers, topo, fp.name)
+						t.Run(name, func(t *testing.T) {
+							cfg := RunConfig{Workers: workers, Faults: fp.plan, MaxRetries: 25, Topology: topo}
+							got, _, err := r.run(t, parts, ssi.WeaklyMalicious, bh.b, cfg)
+							switch {
+							case err == nil:
+								if got != baseline {
+									t.Fatalf("undetected misbehaviour changed the result\n got %s\nwant %s", got, baseline)
+								}
+							case errors.Is(err, ErrDetected):
+								var de *DetectionError
+								if !errors.As(err, &de) {
+									t.Fatalf("detection error is not typed: %v", err)
+								}
+								if de.Protocol == "" || de.Reason == "" {
+									t.Fatalf("detection error lacks detail: %+v", de)
+								}
+							default:
+								t.Fatalf("unexpected error class: %v", err)
 							}
-						case errors.Is(err, ErrDetected):
-							var de *DetectionError
-							if !errors.As(err, &de) {
-								t.Fatalf("detection error is not typed: %v", err)
-							}
-							if de.Protocol == "" || de.Reason == "" {
-								t.Fatalf("detection error lacks detail: %+v", de)
-							}
-						default:
-							t.Fatalf("unexpected error class: %v", err)
-						}
-					})
+						})
+					}
 				}
 			}
 		}
@@ -277,6 +288,67 @@ func TestPropertyRunRestoresFaultPlane(t *testing.T) {
 	if delivered != 1 {
 		t.Errorf("post-run delivery saw %d copies, want 1 (clean wire)", delivered)
 	}
+}
+
+// TestPropertyShardFailureDetected: a sharded SSI behaves exactly like a
+// single server while healthy, and a crashed shard — whose tuples simply
+// vanish — always surfaces as a typed DetectionError, never a silently
+// partial result. Exercised across topologies and both batch protocols
+// that accept arbitrary Infra routing.
+func TestPropertyShardFailureDetected(t *testing.T) {
+	parts := makeParts(24, 3, testDomain, 81)
+	kr := mustKeyring(t)
+	want := PlainResult(parts)
+	for _, topo := range batteryTopologies() {
+		// Healthy shard fleet: exact result.
+		net := netsim.New()
+		ss, err := ssi.NewShardSet(net, 3, ssi.HonestButCurious, ssi.Behavior{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := RunSecureAggCfg(net, ss, parts, kr, 5, RunConfig{Workers: 2, Topology: topo})
+		if err != nil {
+			t.Fatalf("%v healthy shards: %v", topo, err)
+		}
+		if !resultsEqual(res, want) {
+			t.Fatalf("%v healthy shards: result diverges from ground truth", topo)
+		}
+
+		// One shard crashes mid-collection: detection, not a wrong answer.
+		net = netsim.New()
+		ss, err = ssi.NewShardSet(net, 3, ssi.HonestButCurious, ssi.Behavior{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := parts[:len(parts)/2]
+		rest := parts[len(parts)/2:]
+		crashed := &crashMidCollect{ShardSet: ss, after: len(half)}
+		_, _, err = RunSecureAggCfg(net, crashed, append(append([]Participant(nil), half...), rest...), kr, 5,
+			RunConfig{Workers: 2, Topology: topo})
+		var de *DetectionError
+		if !errors.As(err, &de) {
+			t.Fatalf("%v crashed shard: expected DetectionError, got %v", topo, err)
+		}
+		if de.Reason != "checksum-mismatch" {
+			t.Fatalf("%v crashed shard: reason = %q, want checksum-mismatch", topo, de.Reason)
+		}
+	}
+}
+
+// crashMidCollect fails shard 0 after a fixed number of uploads,
+// modelling a node dying partway through the collection phase.
+type crashMidCollect struct {
+	*ssi.ShardSet
+	after int
+	seen  int
+}
+
+func (c *crashMidCollect) Receive(e netsim.Envelope) {
+	c.seen++
+	if c.seen == c.after {
+		c.ShardSet.Fail(0)
+	}
+	c.ShardSet.Receive(e)
 }
 
 // TestDetectionErrorContract pins the typed-error API.

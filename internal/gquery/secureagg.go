@@ -4,7 +4,6 @@ import (
 	"strconv"
 
 	"pds/internal/netsim"
-	"pds/internal/obs"
 	"pds/internal/ssi"
 )
 
@@ -24,7 +23,7 @@ import (
 // aggregation phase out over a token fleet.
 //
 // Deprecated: use New().SecureAgg.
-func RunSecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring, chunkSize int) (Result, RunStats, error) {
+func RunSecureAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring, chunkSize int) (Result, RunStats, error) {
 	return RunSecureAggCfg(net, srv, parts, kr, chunkSize, Serial())
 }
 
@@ -34,7 +33,7 @@ func RunSecureAgg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr 
 // serial run on the same inputs.
 //
 // Deprecated: use New(WithConfig(cfg)).SecureAgg.
-func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, kr *Keyring, chunkSize int, cfg RunConfig) (Result, RunStats, error) {
+func RunSecureAggCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring, chunkSize int, cfg RunConfig) (Result, RunStats, error) {
 	var stats RunStats
 	if len(parts) == 0 {
 		return nil, stats, ErrNoParticipants
@@ -58,7 +57,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 				return nil, stats, err
 			}
 			if err := tp.send(netsim.Envelope{
-				From: p.ID, To: "ssi", Kind: "tuple", Payload: seal(kr, ct),
+				From: p.ID, To: srv.Dest(p.ID), Kind: "tuple", Payload: seal(kr, ct),
 			}, srv.Receive); err != nil {
 				return nil, stats, err
 			}
@@ -66,7 +65,7 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	}
 	// Phase barrier: delayed uploads surface before partitioning.
 	tp.barrier(srv.Receive)
-	tp.phase(PhasePartition)
+	tp.endCollect()
 	srv.BindTrace(tp.ro.curCtx())
 
 	// Partition phase (where a weakly-malicious SSI misbehaves).
@@ -77,88 +76,33 @@ func RunSecureAggCfg(net *netsim.Network, srv *ssi.Server, parts []Participant, 
 	stats.Chunks = len(chunks)
 	tp.phase(PhaseTokenFold)
 
-	// Aggregation phase: the token fleet processes chunks independently.
+	// Aggregation phase: the token fleet processes chunks independently
+	// through the shared fold step (fold.go).
 	outs := make([]chunkOutcome, len(chunks))
 	cfg.forEachChunk(len(chunks), func(i int) {
-		worker := parts[i%len(parts)].ID
-		// The dispatch span is the "SSI partition message" handing chunk i
-		// to its worker: every wire frame of the chunk carries its context,
-		// so the token's fold span attaches under it even across
-		// retransmits and duplicated deliveries.
-		disp := tp.ro.span("ssi-dispatch", PhasePartition, "chunk", strconv.Itoa(i), "worker", worker)
-		defer disp.End()
-		var fold *obs.Span
-		defer func() { fold.End() }()
-		out := chunkOutcome{partial: partialAgg{Aggs: map[string]GroupAgg{}}}
-		for _, env := range chunks[i] {
-			sendErr := tp.send(netsim.Envelope{From: "ssi", To: worker, Kind: "chunk", Payload: env.Payload, Ctx: disp.Context()},
-				func(e netsim.Envelope) {
-					if fold == nil {
-						fold = tp.ro.remoteSpan(PhaseTokenFold, e.Ctx, "chunk", strconv.Itoa(i), "worker", worker)
-					}
-					ct, err := open(kr, e.Payload)
-					if err != nil {
-						out.macFailures++
-						return
-					}
-					pt, err := kr.NonDet.Decrypt(ct)
-					if err != nil {
-						out.macFailures++
-						return
-					}
-					t, err := decodeTuplePlain(pt)
-					if err != nil {
-						out.err = err
-						return
-					}
-					out.partial.IDSum += t.ID
-					out.partial.Count++
-					if !t.Fake {
-						out.partial.Aggs[t.Group] = out.partial.Aggs[t.Group].Fold(t.Value)
-					}
-				})
-			if sendErr != nil && out.err == nil {
-				out.err = sendErr
-			}
-			if out.err != nil {
-				outs[i] = out
-				return
-			}
-		}
-		// Worker → SSI → final token: the partial rides sealed and
-		// non-deterministically encrypted.
-		pct, err := kr.NonDet.Encrypt(encodePartial(out.partial))
-		if err != nil {
-			out.err = err
-			outs[i] = out
-			return
-		}
-		if err := tp.send(netsim.Envelope{From: worker, To: "ssi", Kind: "partial", Payload: seal(kr, pct), Ctx: fold.Context()}, nil); err != nil {
-			out.err = err
-		}
-		outs[i] = out
+		outs[i] = tp.runFold(
+			foldJob{worker: parts[i%len(parts)].ID, kind: "chunk", label: strconv.Itoa(i)},
+			chunks[i], tupleProcessor(kr), sealedPartial(kr))
 	})
-
-	// Fold worker outcomes deterministically, in chunk order.
-	var partials []partialAgg
-	for _, out := range outs {
-		stats.MACFailures += out.macFailures
-		if out.macFailures > 0 {
-			stats.Detected = true
-		}
-		if out.err != nil {
-			return nil, stats, out.err
-		}
-		stats.WorkerCalls++
-		partials = append(partials, out.partial)
+	partials, leaves, err := tp.foldOutcomes(outs, &stats)
+	if err != nil {
+		return nil, stats, err
 	}
 
-	// Merge phase at the final token.
-	tp.phase(PhaseMerge)
-	finalTo := parts[0].ID
-	for range partials {
-		if err := tp.send(netsim.Envelope{From: "ssi", To: finalTo, Kind: "merge", Payload: nil}, nil); err != nil {
+	if cfg.Topology.IsTree() {
+		// Hierarchical merge: partials climb the fan-in tree; the querier
+		// receives a single root partial.
+		if partials, err = tp.reduceTree(kr, parts, leaves, cfg.Topology.Arity(), &stats); err != nil {
 			return nil, stats, err
+		}
+	} else {
+		// Flat merge phase at the single final token.
+		tp.phase(PhaseMerge)
+		finalTo := parts[0].ID
+		for range partials {
+			if err := tp.send(netsim.Envelope{From: "ssi", To: finalTo, Kind: "merge", Payload: nil}, nil); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
 	tp.barrier(nil)

@@ -3,6 +3,7 @@ package gquery
 import (
 	"strings"
 	"sync"
+	"time"
 
 	"pds/internal/netsim"
 )
@@ -22,6 +23,13 @@ type transport struct {
 
 	mu    sync.Mutex
 	links map[string]*netsim.Link
+
+	// collect, when non-nil (tree and streaming runs), accumulates each
+	// PDS's upload traffic so the collection phase can be charged at its
+	// parallel makespan — every PDS is its own serial resource — instead
+	// of the flat serial tick. Flat runs leave it nil and keep the
+	// historical serial accounting.
+	collect map[string]netsim.Stats
 }
 
 // newTransport opens one run's wire epoch: the run-local observer registry
@@ -29,6 +37,9 @@ type transport struct {
 // injected fault of this run is attributed to this run.
 func newTransport(net *netsim.Network, cfg RunConfig, proto string) *transport {
 	tp := &transport{net: net, links: map[string]*netsim.Link{}, ro: newRunObs(net, cfg.observer, proto)}
+	if cfg.Topology.IsTree() {
+		tp.collect = map[string]netsim.Stats{}
+	}
 	if cfg.Faults != nil {
 		tp.on = true
 		tp.rel = netsim.Reliability{MaxRetries: cfg.MaxRetries, Backoff: cfg.Backoff}
@@ -53,11 +64,43 @@ func (tp *transport) close() {
 // phase marks a protocol phase boundary in the run's trace.
 func (tp *transport) phase(name string) { tp.ro.phase(name) }
 
+// phasePar marks a phase boundary whose traffic ran on overlapping
+// per-token timelines (see runObs.phasePar).
+func (tp *transport) phasePar(name string, makespan time.Duration) { tp.ro.phasePar(name, makespan) }
+
+// endCollect closes the collection phase: at the slowest single PDS's
+// upload cost when per-token accounting is on, at the flat serial
+// charge otherwise.
+func (tp *transport) endCollect() {
+	if tp.collect == nil {
+		tp.phase(PhasePartition)
+		return
+	}
+	var makespan time.Duration
+	for _, s := range tp.collect {
+		if d := s.Time(tp.ro.cost); d > makespan {
+			makespan = d
+		}
+	}
+	tp.phasePar(PhasePartition, makespan)
+}
+
 // finish derives the cost side of RunStats from the run's registry.
 func (tp *transport) finish(stats *RunStats) { tp.ro.finish(stats) }
 
-// link returns the reliable link carrying one envelope kind, creating it
-// on first use. Per-kind links keep sequence spaces disjoint, mirroring
+// linkKey scopes a reliable link: per envelope kind, and additionally
+// per SSI shard when the destination names one ("ssi:<i>"), so each
+// shard's ARQ sequence space — and therefore its retry schedule — stays
+// disjoint from its siblings', giving every shard its own fault plane.
+func linkKey(e netsim.Envelope) string {
+	if strings.HasPrefix(e.To, "ssi:") {
+		return e.Kind + "@" + e.To
+	}
+	return e.Kind
+}
+
+// link returns the reliable link carrying one link key, creating it
+// on first use. Per-key links keep sequence spaces disjoint, mirroring
 // the per-kind fault schedules.
 func (tp *transport) link(kind string) *netsim.Link {
 	tp.mu.Lock()
@@ -78,6 +121,12 @@ func (tp *transport) send(e netsim.Envelope, rcv func(netsim.Envelope)) error {
 	if e.Ctx.IsZero() {
 		e.Ctx = tp.ro.curCtx()
 	}
+	if tp.collect != nil && e.Kind == "tuple" {
+		s := tp.collect[e.From]
+		s.Messages++
+		s.Bytes += int64(len(e.Payload))
+		tp.collect[e.From] = s
+	}
 	if !tp.on {
 		out := tp.net.Send(e)
 		if rcv != nil {
@@ -85,7 +134,7 @@ func (tp *transport) send(e netsim.Envelope, rcv func(netsim.Envelope)) error {
 		}
 		return nil
 	}
-	return tp.link(e.Kind).Transfer(e, rcv)
+	return tp.link(linkKey(e)).Transfer(e, rcv)
 }
 
 // barrier is a protocol phase boundary: delayed envelopes surface here, in
@@ -100,6 +149,6 @@ func (tp *transport) barrier(rcv func(netsim.Envelope)) {
 		if strings.HasSuffix(e.Kind, "/ack") {
 			return
 		}
-		tp.link(e.Kind).Accept(e, rcv)
+		tp.link(linkKey(e)).Accept(e, rcv)
 	})
 }

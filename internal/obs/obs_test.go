@@ -197,3 +197,29 @@ func TestSimClockDrivesSpanDurations(t *testing.T) {
 		t.Fatal("negative advance moved the clock")
 	}
 }
+
+func TestExplicitTimeSpansIndependentOfClock(t *testing.T) {
+	r := NewRegistry()
+	root := r.Tracer().Start("sched", nil)
+	// The shared clock stays at 0 while the caller lays out a two-node
+	// schedule on explicit timelines.
+	a := r.Tracer().StartAt("node-a", root, 10*time.Millisecond)
+	a.EndAt(30 * time.Millisecond)
+	b := r.Tracer().StartAt("node-b", root, 20*time.Millisecond)
+	b.EndAt(5 * time.Millisecond) // before start: clamped to start
+	root.End()
+	spans := r.Snapshot().Spans
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if sp := byName["node-a"]; sp.StartNS != int64(10*time.Millisecond) || sp.EndNS != int64(30*time.Millisecond) {
+		t.Fatalf("node-a laid out at [%d,%d]", sp.StartNS, sp.EndNS)
+	}
+	if sp := byName["node-b"]; sp.EndNS != sp.StartNS {
+		t.Fatalf("end before start not clamped: [%d,%d]", sp.StartNS, sp.EndNS)
+	}
+	if now := r.Clock().Now(); now != 0 {
+		t.Fatalf("explicit-time spans moved the shared clock to %v", now)
+	}
+}

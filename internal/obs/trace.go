@@ -95,6 +95,24 @@ func (t *Tracer) Start(name string, parent *Span) *Span {
 	return &Span{t: t, id: id, idx: len(t.spans) - 1}
 }
 
+// StartAt opens a span at an explicit simulated time instead of the
+// clock's current reading — the entry point for discrete-event callers
+// (e.g. the gquery tree scheduler) that lay work out on many per-node
+// timelines and only afterwards advance the shared clock by the
+// schedule's makespan. Pair with Span.EndAt.
+func (t *Tracer) StartAt(name string, parent *Span, start time.Duration) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	pid := 0
+	if parent != nil {
+		pid = parent.id
+	}
+	t.spans = append(t.spans, SpanRecord{ID: id, Parent: pid, Name: name, StartNS: int64(start), EndNS: int64(start)})
+	return &Span{t: t, id: id, idx: len(t.spans) - 1}
+}
+
 // StartRemote opens a span whose parent arrived over the wire as a
 // SpanContext — the receive side of cross-node causality. A zero or
 // foreign context (minted by a different tracer) yields a root span: the
@@ -139,6 +157,23 @@ func (s *Span) End() {
 	defer s.t.mu.Unlock()
 	if s.idx < len(s.t.spans) {
 		s.t.spans[s.idx].EndNS = now
+	}
+}
+
+// EndAt closes the span at an explicit simulated time (see StartAt).
+// An end before the span's start is clamped to the start.
+func (s *Span) EndAt(end time.Duration) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.idx < len(s.t.spans) {
+		e := int64(end)
+		if e < s.t.spans[s.idx].StartNS {
+			e = s.t.spans[s.idx].StartNS
+		}
+		s.t.spans[s.idx].EndNS = e
 	}
 }
 

@@ -82,6 +82,16 @@ type Server struct {
 	obs      Observations
 	payloads map[string]bool
 	trace    obs.SpanContext
+
+	// Streaming partition mode (StartStream): instead of accumulating an
+	// inbox, arriving envelopes are grouped into chunks and emitted as
+	// soon as each chunk fills. streamIdx is the running inbox position
+	// feeding the covert misbehaviour schedule, so a weakly-malicious
+	// server attacks the same positions whether it streams or batches.
+	streamEmit  func([]netsim.Envelope)
+	streamChunk int
+	streamBuf   []netsim.Envelope
+	streamIdx   int
 }
 
 // New creates a server in the given mode.
@@ -98,6 +108,10 @@ func New(net *netsim.Network, mode Mode, b Behavior) *Server {
 // Mode returns the adversary mode.
 func (s *Server) Mode() Mode { return s.mode }
 
+// Dest names the server as an upload destination. A single server is
+// always plain "ssi"; a ShardSet routes per PDS instead.
+func (s *Server) Dest(pds string) string { return "ssi" }
+
 // BindTrace parents the server's next partition span under the given wire
 // context (typically the querier's partition-phase span). A zero context
 // unbinds; the span then becomes a root.
@@ -108,9 +122,16 @@ func (s *Server) BindTrace(ctx obs.SpanContext) {
 }
 
 // Receive stores one envelope (a PDS upload). The server dutifully records
-// what it observes.
+// what it observes. In streaming mode the envelope is routed into the
+// current chunk instead of the inbox, and full chunks are emitted
+// immediately — the server never holds more than one partial chunk.
 func (s *Server) Receive(e netsim.Envelope) {
 	s.mu.Lock()
+	if s.streamEmit != nil {
+		s.receiveStreaming(e)
+		s.mu.Unlock()
+		return
+	}
 	defer s.mu.Unlock()
 	s.inbox = append(s.inbox, e)
 	s.obs.Envelopes++
@@ -119,6 +140,90 @@ func (s *Server) Receive(e netsim.Envelope) {
 		s.payloads[string(e.Payload)] = true
 		s.obs.DistinctPayloads++
 	}
+}
+
+// receiveStreaming is Receive's streaming path; callers hold s.mu. The
+// distinct-payload record is deliberately not maintained here: that map
+// is O(population) memory, exactly what streaming mode exists to avoid
+// (leakage studies use batch mode).
+func (s *Server) receiveStreaming(e netsim.Envelope) {
+	s.obs.Envelopes++
+	s.obs.Bytes += int64(len(e.Payload))
+	outs := []netsim.Envelope{e}
+	if s.mode == WeaklyMalicious {
+		outs = s.corruptOne(s.streamIdx, e, obs.SpanContext{})
+	}
+	s.streamIdx++
+	for _, out := range outs {
+		s.streamBuf = append(s.streamBuf, out)
+		if len(s.streamBuf) >= s.streamChunk {
+			chunk := s.streamBuf
+			s.streamBuf = nil
+			s.emitChunk(chunk)
+		}
+	}
+}
+
+// emitChunk hands one full chunk to the stream consumer; callers hold
+// s.mu. The single-writer contract of StartStream makes holding the
+// lock across the (possibly blocking) emit safe: only the collection
+// goroutine calls Receive, and the fold workers draining the chunks
+// never call back into the server.
+func (s *Server) emitChunk(chunk []netsim.Envelope) {
+	s.streamEmit(chunk)
+}
+
+// StartStream puts the server in streaming partition mode: until
+// FinishStream, uploads are grouped into chunks of chunkSize as they
+// arrive and handed to emit as soon as each chunk fills, so the server
+// holds at most one partial chunk instead of the whole population's
+// inbox — the memory-bound contract of gquery.SecureAggStream. A
+// weakly-malicious server misbehaves per envelope with the same seeded
+// position schedule as batch Partition. emit is invoked on the caller's
+// goroutine; there must be exactly one uploading goroutine.
+func (s *Server) StartStream(chunkSize int, emit func([]netsim.Envelope)) error {
+	if chunkSize < 1 {
+		return fmt.Errorf("ssi: chunkSize must be >= 1, got %d", chunkSize)
+	}
+	if emit == nil {
+		return fmt.Errorf("ssi: streaming mode needs an emit callback")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.streamEmit != nil {
+		return fmt.Errorf("ssi: stream already open")
+	}
+	s.streamEmit = emit
+	s.streamChunk = chunkSize
+	s.streamIdx = 0
+	return nil
+}
+
+// FinishStream flushes the final partial chunk and leaves streaming
+// mode.
+func (s *Server) FinishStream() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.streamEmit == nil {
+		return
+	}
+	if len(s.streamBuf) > 0 {
+		chunk := s.streamBuf
+		s.streamBuf = nil
+		s.emitChunk(chunk)
+	}
+	s.streamEmit = nil
+	s.streamChunk = 0
+}
+
+// streamDiscard leaves streaming mode without flushing the buffered
+// partial chunk — what a crashed shard does to the tuples it held.
+func (s *Server) streamDiscard() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streamBuf = nil
+	s.streamEmit = nil
+	s.streamChunk = 0
 }
 
 // ObserveGroup lets protocol code report the opaque key under which the
@@ -171,6 +276,9 @@ func (s *Server) Partition(chunkSize int) ([][]netsim.Envelope, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.streamEmit != nil {
+		return nil, fmt.Errorf("ssi: batch Partition unavailable in streaming mode")
+	}
 	work := s.inbox
 	s.inbox = nil
 	var sp *obs.Span
@@ -208,6 +316,18 @@ const MetricCorrupt = "ssi_corrupt_total"
 // so the attack schedule is a pure function of (Behavior, upload order)
 // and replays exactly for debugging a detected run.
 func (s *Server) corrupt(in []netsim.Envelope, ctx obs.SpanContext) []netsim.Envelope {
+	var out []netsim.Envelope
+	for i, e := range in {
+		out = append(out, s.corruptOne(i, e, ctx)...)
+	}
+	return out
+}
+
+// corruptOne decides one envelope's fate given its inbox position i:
+// nil (dropped), the envelope twice (duplicated), a bit-flipped copy
+// (forged), or the envelope unchanged. Batch Partition and streaming
+// Receive share it, so the attack schedule is identical in both modes.
+func (s *Server) corruptOne(i int, e netsim.Envelope, ctx obs.SpanContext) []netsim.Envelope {
 	b := s.behavior
 	reg := s.net.Observer()
 	note := func(action string) {
@@ -216,35 +336,31 @@ func (s *Server) corrupt(in []netsim.Envelope, ctx obs.SpanContext) []netsim.Env
 			reg.Tracer().Event("ssi-"+action, ctx)
 		}
 	}
-	var out []netsim.Envelope
-	for i, e := range in {
-		var idx [8]byte
-		binary.LittleEndian.PutUint64(idx[:], uint64(i))
-		r := netsim.HashUniform(b.Seed, []byte("ssi-corrupt"), idx[:])
-		switch {
-		case r < b.DropRate:
-			note("drop")
-			continue
-		case r < b.DropRate+b.DuplicateRate:
-			note("duplicate")
-			out = append(out, e, e)
-		case r < b.DropRate+b.DuplicateRate+b.ForgeRate:
-			note("forge")
-			forged := e
-			forged.Payload = append([]byte(nil), e.Payload...)
-			if len(forged.Payload) > 0 {
-				pos := int(netsim.HashUniform(b.Seed, []byte("ssi-forge-pos"), idx[:]) * float64(len(forged.Payload)))
-				if pos >= len(forged.Payload) {
-					pos = len(forged.Payload) - 1
-				}
-				forged.Payload[pos] ^= 0xA5
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(i))
+	r := netsim.HashUniform(b.Seed, []byte("ssi-corrupt"), idx[:])
+	switch {
+	case r < b.DropRate:
+		note("drop")
+		return nil
+	case r < b.DropRate+b.DuplicateRate:
+		note("duplicate")
+		return []netsim.Envelope{e, e}
+	case r < b.DropRate+b.DuplicateRate+b.ForgeRate:
+		note("forge")
+		forged := e
+		forged.Payload = append([]byte(nil), e.Payload...)
+		if len(forged.Payload) > 0 {
+			pos := int(netsim.HashUniform(b.Seed, []byte("ssi-forge-pos"), idx[:]) * float64(len(forged.Payload)))
+			if pos >= len(forged.Payload) {
+				pos = len(forged.Payload) - 1
 			}
-			out = append(out, forged)
-		default:
-			out = append(out, e)
+			forged.Payload[pos] ^= 0xA5
 		}
+		return []netsim.Envelope{forged}
+	default:
+		return []netsim.Envelope{e}
 	}
-	return out
 }
 
 // HashID derives a 64-bit opaque tuple id from a PDS id and a sequence

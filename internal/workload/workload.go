@@ -216,6 +216,39 @@ func Participants(nPDS, tuplesEach int, seed int64) []gquery.Participant {
 	return parts
 }
 
+// PDSStream yields the exact population Participants generates, one PDS
+// at a time in O(tuplesEach) memory — the source for the streaming
+// (memory-bounded) global-aggregate experiments, where the fleet is too
+// large to materialize.
+type PDSStream struct {
+	rng        *rand.Rand
+	n          int
+	tuplesEach int
+	next       int
+}
+
+// ParticipantStream streams the same deterministic population as
+// Participants(nPDS, tuplesEach, seed): for every index the generated
+// participant is identical, because both draw from one shared RNG in
+// the same order.
+func ParticipantStream(nPDS, tuplesEach int, seed int64) *PDSStream {
+	return &PDSStream{rng: rand.New(rand.NewSource(seed)), n: nPDS, tuplesEach: tuplesEach}
+}
+
+// Next yields the next participant, or ok=false past the fleet size.
+func (s *PDSStream) Next() (gquery.Participant, bool) {
+	if s.next >= s.n {
+		return gquery.Participant{}, false
+	}
+	p := gquery.Participant{ID: fmt.Sprintf("pds-%05d", s.next)}
+	for j := 0; j < s.tuplesEach; j++ {
+		g := Diagnoses[int(float64(len(Diagnoses))*s.rng.Float64()*s.rng.Float64())]
+		p.Tuples = append(p.Tuples, gquery.Tuple{Group: g, Value: 10 + s.rng.Int63n(500)})
+	}
+	s.next++
+	return p, true
+}
+
 // MeterReadings generates a day of 15-minute smart-meter readings (in
 // watt-hours) for n homes — the Trusted-Cells/Folk-IS flavoured workload.
 func MeterReadings(homes int, seed int64) [][]int64 {
