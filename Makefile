@@ -8,11 +8,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race fuzz cover lint-determinism smoke-metrics smoke-trace perf-regression bench-part3 bench-snapshot bench-snapshot-ci
+.PHONY: ci build test vet race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix crash-matrix-ci bench-part3 bench-snapshot bench-snapshot-ci
 
 # Where `make bench-snapshot` writes the perf snapshot. Committed per PR
 # (BENCH_PR<n>.json) so performance trajectories stay diffable.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,14 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/gquery/... ./internal/netsim/... ./internal/ssi/... ./internal/privcrypto/... ./internal/smc/...
 
-# Short, bounded fuzz passes: the Paillier CRT/textbook cross-check and
-# the reliability-frame decoder (canonical re-encode property).
+# Short, bounded fuzz passes: the Paillier CRT/textbook cross-check, the
+# reliability-frame decoder (canonical re-encode property), and log-replay
+# recovery under corrupted surviving pages (typed error or valid prefix,
+# never a panic or silent garbage).
 fuzz:
 	$(GO) test ./internal/privcrypto -run '^$$' -fuzz '^FuzzPaillierDecryptCRTvsTextbook$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/logstore -run '^$$' -fuzz '^FuzzLogReplay$$' -fuzztime=$(FUZZTIME)
 
 cover:
 	$(GO) test -cover ./...
@@ -67,7 +70,37 @@ smoke-trace:
 perf-regression:
 	$(GO) test ./cmd/pdsbench -run '^TestE20TreeCriticalPathRegression$$' -count=1
 
-ci: vet build test race fuzz cover lint-determinism smoke-metrics smoke-trace perf-regression bench-snapshot-ci
+# The power-fail property battery (DESIGN §11): every store workload ×
+# every crash point × {write, torn-write, erase}, pinned seeds, full
+# sweeps, plus the E21 recovery-cost report. `crash-matrix-ci` is the
+# quick flavor (crash-point stride 7 via -short) that rides in `make ci`.
+crash-matrix:
+	$(GO) test ./internal/crashharness -count=1
+	$(GO) test ./internal/kv ./internal/search ./internal/embdb -run 'Crash|Reorganize|InPlaceFailed|SyncDurability|ReopenTable' -count=1
+	$(GO) test ./internal/logstore -run 'Journal|Recover|Manifest|CommitCrash' -count=1
+	$(GO) run ./cmd/pdsbench -exp E21
+
+crash-matrix-ci:
+	$(GO) test -short ./internal/crashharness -count=1
+	$(GO) test -short ./internal/kv ./internal/search ./internal/embdb -run 'CrashBattery' -count=1
+	$(GO) run ./cmd/pdsbench -exp E21 -quick
+
+# Coverage floor for the crash-recovery plane: the commit/replay path
+# (logstore), the crash plane (flash) and the battery driver must not
+# silently lose their test coverage.
+cover-recovery:
+	@set -e; \
+	check() { \
+		pct=$$($(GO) test -cover $$1 | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		ok=$$(echo "$$pct $$2" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "cover-recovery: $$1 at $$pct% (< $$2% floor)"; exit 1; fi; \
+		echo "cover-recovery: $$1 $$pct% (floor $$2%)"; \
+	}; \
+	check ./internal/logstore 80; \
+	check ./internal/crashharness 75; \
+	check ./internal/flash 75
+
+ci: vet build test race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix-ci bench-snapshot-ci
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:

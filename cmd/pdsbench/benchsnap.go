@@ -321,6 +321,10 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 			e20StreamSpec(fmt.Sprintf("E20StreamTree%s", fleetLabel(fleet)), fleet, gquery.Tree(16)),
 		)
 	}
+
+	// E21 crash-recovery rows: verified crash-point sweeps per store,
+	// sim_critical_ns = the worst single recovery's NAND cost.
+	specs = append(specs, e21Specs(quick)...)
 	return specs, nil
 }
 

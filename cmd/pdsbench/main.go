@@ -60,6 +60,7 @@ var experiments = []experiment{
 	{"E17", "Design-choice ablations: Bloom bits, buckets, chunk size", runE17},
 	{"E18", "Fault-tolerant Part III execution under injected faults (robustness)", runE18},
 	{"E20", "Hierarchical fan-in scaling: flat vs tree critical path, bounded memory", runE20},
+	{"E21", "Power-fail crash recovery: prefix battery and recovery cost", runE21},
 }
 
 func main() {

@@ -65,33 +65,35 @@ func (x *InPlaceIndex) readPage(logical int) ([]nodeEntry, error) {
 }
 
 // rewritePage overwrites one logical page, paying the full
-// read-erase-program cycle of its block.
+// read-erase-program cycle of its block. The rewrite is copy-on-write at
+// block grain: the merged images are programmed into a fresh block before
+// the superseded one is released, so a failed program leaves every prior
+// entry readable (the half-programmed block goes back to the allocator).
+// The cost is unchanged versus erasing in place — one block read, one
+// block program, one erase — only the order differs.
 func (x *InPlaceIndex) rewritePage(logical int, entries []nodeEntry) error {
 	g := x.alloc.Chip().Geometry()
 	chip := x.alloc.Chip()
 	bi := logical / g.PagesPerBlock
-	for bi >= len(x.blocks) {
-		b, err := x.alloc.Alloc()
-		if err != nil {
-			return err
-		}
-		x.blocks = append(x.blocks, b)
+	if bi > len(x.blocks) {
+		return fmt.Errorf("embdb: in-place logical page %d skips a block", logical)
 	}
-	block := x.blocks[bi]
-	base := block * g.PagesPerBlock
-	// Read every live page of the block.
+	// Read every live page of the block being replaced (none for a new one).
 	images := make([][]byte, g.PagesPerBlock)
-	for i := 0; i < g.PagesPerBlock; i++ {
-		written, err := chip.Written(base + i)
-		if err != nil {
-			return err
-		}
-		if written {
-			img, err := chip.Page(base + i)
+	if bi < len(x.blocks) {
+		base := x.blocks[bi] * g.PagesPerBlock
+		for i := 0; i < g.PagesPerBlock; i++ {
+			written, err := chip.Written(base + i)
 			if err != nil {
 				return err
 			}
-			images[i] = img
+			if written {
+				img, err := chip.Page(base + i)
+				if err != nil {
+					return err
+				}
+				images[i] = img
+			}
 		}
 	}
 	// Build the new page image.
@@ -104,17 +106,31 @@ func (x *InPlaceIndex) rewritePage(logical int, entries []nodeEntry) error {
 	}
 	putU16(page[0:2], uint16(len(entries)))
 	images[logical%g.PagesPerBlock] = page
-	// Erase and program back — the expensive part.
-	if err := chip.EraseBlock(block); err != nil {
+	// Program into a fresh block — the expensive part. The old block is
+	// untouched until every page has landed.
+	nb, err := x.alloc.Alloc()
+	if err != nil {
 		return err
 	}
+	base := nb * g.PagesPerBlock
 	for i := 0; i < g.PagesPerBlock; i++ {
 		if images[i] == nil {
 			break // NAND sequential rule: stop at first unwritten page
 		}
 		if err := chip.WritePage(base+i, images[i]); err != nil {
+			// Prior values stay readable in the old block; discard the
+			// half-programmed copy (best effort — the chip may be dead).
+			_ = x.alloc.Free(nb)
 			return err
 		}
+	}
+	if bi < len(x.blocks) {
+		if err := x.alloc.Free(x.blocks[bi]); err != nil {
+			return err
+		}
+		x.blocks[bi] = nb
+	} else {
+		x.blocks = append(x.blocks, nb)
 	}
 	return nil
 }

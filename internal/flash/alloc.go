@@ -36,6 +36,48 @@ func NewAllocator(chip *Chip) *Allocator {
 	return a
 }
 
+// NewAllocatorWithUsed creates an allocator over a recovered chip in which
+// the listed blocks are already occupied by surviving structures. Every
+// other block goes to the free pool (low ids handed out first, as in
+// NewAllocator); the caller is responsible for having reclaimed — erased —
+// any unowned block that still held written pages.
+func NewAllocatorWithUsed(chip *Chip, used []int) *Allocator {
+	g := chip.Geometry()
+	a := &Allocator{
+		chip:  chip,
+		free:  make([]int, 0, g.Blocks),
+		inUse: make(map[int]bool, g.Blocks),
+	}
+	for _, b := range used {
+		a.inUse[b] = true
+	}
+	for b := g.Blocks - 1; b >= 0; b-- {
+		if !a.inUse[b] {
+			a.free = append(a.free, b)
+		}
+	}
+	return a
+}
+
+// Claim reserves a specific block, removing it from the free pool — used
+// by structures with a fixed block address, like the journal area of the
+// crash-consistency plane.
+func (a *Allocator) Claim(b int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inUse[b] {
+		return fmt.Errorf("flash: claim of allocated block %d", b)
+	}
+	for i, f := range a.free {
+		if f == b {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+			a.inUse[b] = true
+			return nil
+		}
+	}
+	return fmt.Errorf("flash: claim of unknown block %d", b)
+}
+
 // Alloc reserves one block and returns its id.
 func (a *Allocator) Alloc() (int, error) {
 	a.mu.Lock()

@@ -146,6 +146,12 @@ type Chip struct {
 	// one operation fails (-1 = disarmed).
 	writeFaultIn int
 	eraseFaultIn int
+	// Power-fail plane (crash.go): an armed crash plan, the count of
+	// successful operations of the plan's kind since arming, and the
+	// sticky dead flag set when the plan fires (or Crash is called).
+	plan      *CrashPlan
+	planCount int
+	crashed   bool
 
 	// Observer counters, resolved once at SetObserver; all nil when no
 	// registry is attached.
@@ -243,12 +249,18 @@ func (c *Chip) WritePage(n int, data []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.crashed {
+		return fmt.Errorf("%w: write of page %d", ErrCrashed, n)
+	}
 	if c.data[n] != nil {
 		return fmt.Errorf("%w: page %d", ErrOverwrite, n)
 	}
 	b := c.BlockOf(n)
 	if idx := c.pageIndexInBlock(n); idx != c.next[b] {
 		return fmt.Errorf("%w: block %d expects page offset %d, got %d", ErrOutOfOrder, b, c.next[b], idx)
+	}
+	if err := c.crashWrite(n, b, data); err != nil {
+		return err
 	}
 	if c.writeFaultIn == 0 {
 		c.writeFaultIn = -1
@@ -277,6 +289,9 @@ func (c *Chip) ReadPage(n int, dst []byte) (int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, fmt.Errorf("%w: read of page %d", ErrCrashed, n)
+	}
 	c.stats.PageReads++
 	if c.obsReads != nil {
 		c.obsReads.Inc()
@@ -294,6 +309,9 @@ func (c *Chip) Page(n int) ([]byte, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, fmt.Errorf("%w: read of page %d", ErrCrashed, n)
+	}
 	c.stats.PageReads++
 	if c.obsReads != nil {
 		c.obsReads.Inc()
@@ -314,6 +332,9 @@ func (c *Chip) Written(n int) (bool, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.crashed {
+		return false, fmt.Errorf("%w: query of page %d", ErrCrashed, n)
+	}
 	return c.data[n] != nil, nil
 }
 
@@ -324,6 +345,12 @@ func (c *Chip) EraseBlock(b int) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.crashed {
+		return fmt.Errorf("%w: erase of block %d", ErrCrashed, b)
+	}
+	if err := c.crashErase(b); err != nil {
+		return err
+	}
 	if c.eraseFaultIn == 0 {
 		c.eraseFaultIn = -1
 		return fmt.Errorf("%w: erase of block %d", ErrInjectedFault, b)

@@ -75,6 +75,13 @@ func decodeBinding(rec []byte) (binding, error) {
 	}, nil
 }
 
+// Stream names the store commits under (DESIGN §11).
+const (
+	streamValues = "kv.values"
+	streamKeys   = "kv.keys"
+	streamSums   = "kv.sums"
+)
+
 // Store is a log-only key-value store on simulated NAND flash.
 type Store struct {
 	alloc  *flash.Allocator
@@ -86,6 +93,9 @@ type Store struct {
 	pageKeys [][]byte
 	puts     int
 	closed   bool
+	// j, when set, is the commit-record journal of the durable mode:
+	// Sync flushes and commits, Reopen recovers to the last commit.
+	j *logstore.Journal
 }
 
 // Open creates an empty store drawing blocks from alloc.
@@ -98,6 +108,75 @@ func Open(alloc *flash.Allocator) *Store {
 	}
 	s.keys.OnFlush(s.flushSummary)
 	return s
+}
+
+// OpenDurable creates an empty store with a commit-record journal on a
+// fresh chip: Sync becomes a durability point, and Reopen recovers the
+// store to the newest committed state after a crash.
+func OpenDurable(alloc *flash.Allocator) (*Store, error) {
+	j, err := logstore.NewJournal(alloc)
+	if err != nil {
+		return nil, err
+	}
+	s := Open(alloc)
+	s.j = j
+	return s, nil
+}
+
+// manifest captures the committed extent of the three logs. The caller
+// must have flushed first.
+func (s *Store) manifest() *logstore.Manifest {
+	return &logstore.Manifest{Streams: []logstore.Stream{
+		logstore.StreamOf(streamValues, s.values),
+		logstore.StreamOf(streamKeys, s.keys),
+		logstore.StreamOf(streamSums, s.sums),
+	}}
+}
+
+// Sync is the store's durability point: it flushes every buffered page
+// and appends a commit record covering them. Puts acknowledged by a
+// completed Sync survive any later crash; puts after the last completed
+// Sync may be lost (prefix semantics, DESIGN §11). On a store without a
+// journal Sync degrades to Flush.
+func (s *Store) Sync() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if s.j == nil {
+		return nil
+	}
+	return s.j.Commit(s.manifest())
+}
+
+// Reopen recovers a durable store from rec, the result of log-replay
+// recovery on a reopened chip. The store comes back exactly at its last
+// commit record; the put count is re-derived from the committed key log.
+func Reopen(rec *logstore.Recovered) (*Store, error) {
+	values, err := rec.OpenLog(streamValues)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := rec.OpenLog(streamKeys)
+	if err != nil {
+		return nil, err
+	}
+	sums, err := rec.OpenLog(streamSums)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		alloc:  rec.Alloc,
+		values: values,
+		keys:   keys,
+		sums:   sums,
+		puts:   keys.Len(),
+		j:      rec.Journal,
+	}
+	s.keys.OnFlush(s.flushSummary)
+	return s, nil
 }
 
 func (s *Store) flushSummary(page int, _ [][]byte) error {
@@ -364,20 +443,27 @@ func (s *Store) Compact(runPages, fanIn int) error {
 		return err
 	}
 
-	// Swap in the compacted logs; free the old blocks.
-	if err := s.values.Drop(); err != nil {
-		return err
-	}
-	if err := s.keys.Drop(); err != nil {
-		return err
-	}
-	if err := s.sums.Drop(); err != nil {
-		return err
-	}
+	// Atomic switch (DESIGN §11): in durable mode the commit record
+	// referencing the new logs is the switch point. Until it lands the
+	// old structure stays authoritative — a crash anywhere during the
+	// rebuild recovers the old logs and reclaims the half-built new ones;
+	// a crash after it recovers the new logs and reclaims the old.
+	old := [3]*logstore.Log{s.values, s.keys, s.sums}
 	s.values, s.keys, s.sums = newValues, newKeys, newSums
 	s.pageKeys = next.pageKeys
 	s.puts = next.puts
 	s.keys.OnFlush(s.flushSummary)
+	if s.j != nil {
+		if err := s.j.Commit(s.manifest()); err != nil {
+			return err
+		}
+	}
+	// Free the superseded blocks only after the switch record is durable.
+	for _, l := range old {
+		if err := l.Drop(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

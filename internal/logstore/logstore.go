@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"pds/internal/flash"
 )
@@ -27,6 +28,10 @@ var (
 	ErrRecordTooLarge = errors.New("logstore: record larger than page payload")
 	ErrClosed         = errors.New("logstore: structure dropped")
 	ErrBadRecordID    = errors.New("logstore: record id out of range")
+	// ErrCorruptPage is returned when a log page fails its CRC or its
+	// slot directory runs past the page end — torn or bit-rotted media
+	// surfaces as this typed error, never as silently garbled records.
+	ErrCorruptPage = errors.New("logstore: corrupt page")
 )
 
 // PageWriter appends pages to flash, allocating blocks on demand. Pages are
@@ -117,9 +122,28 @@ type RecordID struct {
 
 // Page layout of a Log page:
 //
-//	u16 count | count × { u16 len | len bytes }
-const pageHeader = 2
+//	u16 count | u32 crc | count × { u16 len | len bytes }
+//
+// The CRC (IEEE, computed with the crc field zeroed) covers the whole
+// page image, so recovery can tell a torn or corrupted survivor from a
+// valid one (DESIGN §11).
+const pageHeader = 2 + 4
 const slotHeader = 2
+
+// pageCRC computes the page checksum of img with its crc field treated
+// as zero.
+func pageCRC(img []byte) uint32 {
+	var zero [4]byte
+	h := crc32.Update(0, crc32.IEEETable, img[:2])
+	h = crc32.Update(h, crc32.IEEETable, zero[:])
+	return crc32.Update(h, crc32.IEEETable, img[pageHeader:])
+}
+
+// sealPage stamps count and crc into a finished page image.
+func sealPage(img []byte, cnt int) {
+	binary.LittleEndian.PutUint16(img[:2], uint16(cnt))
+	binary.LittleEndian.PutUint32(img[2:6], pageCRC(img))
+}
 
 // MaxRecord returns the largest record storable in a log over geometry g.
 func MaxRecord(g flash.Geometry) int { return g.PageSize - pageHeader - slotHeader }
@@ -183,7 +207,7 @@ func (l *Log) Flush() error {
 	if l.cnt == 0 {
 		return nil
 	}
-	binary.LittleEndian.PutUint16(l.buf[:2], uint16(l.cnt))
+	sealPage(l.buf, l.cnt)
 	page := l.w.Pages()
 	if _, err := l.w.Write(l.buf); err != nil {
 		return err
@@ -254,20 +278,26 @@ func (l *Log) Alloc() *flash.Allocator { return l.w.alloc }
 
 // decodePage parses a page image into record slices (views into page).
 func decodePage(page []byte) ([][]byte, error) {
-	if len(page) < pageHeader {
+	if len(page) == 0 {
 		return nil, nil
+	}
+	if len(page) < pageHeader {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptPage, len(page))
+	}
+	if binary.LittleEndian.Uint32(page[2:6]) != pageCRC(page) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptPage)
 	}
 	cnt := int(binary.LittleEndian.Uint16(page[:2]))
 	recs := make([][]byte, 0, cnt)
 	off := pageHeader
 	for i := 0; i < cnt; i++ {
 		if off+slotHeader > len(page) {
-			return nil, fmt.Errorf("logstore: corrupt page: slot %d header past end", i)
+			return nil, fmt.Errorf("%w: slot %d header past end", ErrCorruptPage, i)
 		}
 		n := int(binary.LittleEndian.Uint16(page[off : off+2]))
 		off += slotHeader
 		if off+n > len(page) {
-			return nil, fmt.Errorf("logstore: corrupt page: slot %d data past end", i)
+			return nil, fmt.Errorf("%w: slot %d data past end", ErrCorruptPage, i)
 		}
 		recs = append(recs, page[off:off+n])
 		off += n
@@ -318,7 +348,7 @@ func decodePageBuffered(buf []byte, cnt int) ([][]byte, error) {
 	}
 	tmp := make([]byte, len(buf))
 	copy(tmp, buf)
-	binary.LittleEndian.PutUint16(tmp[:2], uint16(cnt))
+	sealPage(tmp, cnt)
 	return decodePage(tmp)
 }
 

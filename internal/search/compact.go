@@ -146,20 +146,31 @@ func (e *Engine) Reorganize(runPages, fanIn int) error {
 		return err
 	}
 
-	// Swap in: free old chains and old compact index, reset buckets.
-	old := e.pw
+	// Swap in, then free the old chains and old compact index. In durable
+	// mode the commit record between the two is the atomic switch point
+	// (DESIGN §11): until it lands the old structure is what recovery
+	// restores (the half-built compact pages are reclaimed as unowned), and
+	// once it lands the old blocks are garbage whether or not the drops
+	// below complete.
+	oldPW := e.pw
+	oldCompact := e.compact
 	e.pw = logstore.NewPageWriter(alloc)
-	if err := old.Drop(); err != nil {
-		return err
-	}
-	if e.compact != nil {
-		if err := e.compact.pw.Drop(); err != nil {
-			return err
-		}
-	}
 	e.compact = ci
 	for b := range e.heads {
 		e.heads[b] = -1
+	}
+	if e.j != nil {
+		if err := e.j.Commit(e.manifest()); err != nil {
+			return err
+		}
+	}
+	if err := oldPW.Drop(); err != nil {
+		return err
+	}
+	if oldCompact != nil {
+		if err := oldCompact.pw.Drop(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,223 @@
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pds/internal/crashharness"
+	"pds/internal/flash"
+	"pds/internal/logstore"
+	"pds/internal/mcu"
+)
+
+// Search crash battery (DESIGN §11) plus the directed mid-Reorganize
+// crash tests of the reorganization contract: the old chains stay
+// authoritative until the switch record lands, then the compact index
+// takes over — a crash anywhere in between recovers one of the two, never
+// a mixture.
+
+const (
+	crashBuckets = 4
+	crashVocab   = 10
+	crashArena   = 8192
+)
+
+func crashTerm(i int) string { return fmt.Sprintf("term-%02d", i%crashVocab) }
+
+type crashSearch struct {
+	e     *Engine
+	syncs int
+}
+
+func (w *crashSearch) Apply(op int) error {
+	doc := map[string]int{
+		crashTerm(op):       op%4 + 1,
+		crashTerm(op*5 + 1): op%3 + 1,
+		crashTerm(op*7 + 3): 1,
+	}
+	_, err := w.e.AddDocument(doc)
+	return err
+}
+
+func (w *crashSearch) Sync() error {
+	w.syncs++
+	// Every second boundary reorganizes first, so the sweep hits crash
+	// points throughout the rebuild and on both sides of the switch record.
+	if w.syncs%2 == 0 {
+		if err := w.e.Reorganize(2, 4); err != nil {
+			return err
+		}
+	}
+	return w.e.Sync()
+}
+
+func (w *crashSearch) Fingerprint() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "ndocs=%d next=%d\n", w.e.NumDocs(), w.e.nextDoc)
+	for i := 0; i < crashVocab; i++ {
+		t := crashTerm(i)
+		fmt.Fprintf(h, "%s df=%d:", t, w.e.DocFreq(t))
+		if w.e.DocFreq(t) > 0 {
+			res, err := w.e.Search([]string{t}, 64)
+			if err != nil {
+				return "", err
+			}
+			for _, r := range res {
+				fmt.Fprintf(h, " %d=%.9f", r.Doc, r.Score)
+			}
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func searchWorkload() crashharness.Workload {
+	return crashharness.Workload{
+		Name:      "search",
+		Ops:       36,
+		SyncEvery: 6,
+		Open: func(alloc *flash.Allocator) (crashharness.Store, error) {
+			e, err := OpenDurable(alloc, mcu.NewArena(crashArena), crashBuckets)
+			if err != nil {
+				return nil, err
+			}
+			return &crashSearch{e: e}, nil
+		},
+		Reopen: func(rec *logstore.Recovered) (crashharness.Store, error) {
+			e, err := Reopen(rec, mcu.NewArena(crashArena), crashBuckets)
+			if err != nil {
+				return nil, err
+			}
+			return &crashSearch{e: e}, nil
+		},
+	}
+}
+
+func TestSearchCrashBattery(t *testing.T) {
+	w := searchWorkload()
+	base, err := crashharness.Baseline(w)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	for _, op := range []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite, flash.CrashErase} {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			st, err := crashharness.Sweep(w, op, 0x5EED, stride, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Crashes == 0 {
+				t.Fatalf("%v sweep never fired a crash (%d runs)", op, st.Runs)
+			}
+			t.Logf("%v: %d crash points, max recovery = %+v", op, st.Crashes, st.MaxRecovery)
+		})
+	}
+}
+
+// TestReorganizeCrashMidCompaction sweeps a crash across every page write
+// of one Reorganize. Whatever the crash point, the recovered engine must
+// answer queries exactly as before the reorganization started — from the
+// old chains if the crash hit before the switch record, from the new
+// compact index after — and must accept further documents.
+func TestReorganizeCrashMidCompaction(t *testing.T) {
+	build := func() (*flash.Chip, *Engine, error) {
+		chip := flash.NewChip(flash.SmallGeometry())
+		e, err := OpenDurable(flash.NewAllocator(chip), mcu.NewArena(crashArena), crashBuckets)
+		if err != nil {
+			return nil, nil, err
+		}
+		for op := 0; op < 24; op++ {
+			if _, err := e.AddDocument(map[string]int{
+				crashTerm(op):       op%4 + 1,
+				crashTerm(op*3 + 1): 1,
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		return chip, e, e.Sync()
+	}
+
+	// Reference answers from the committed pre-reorganization state.
+	_, ref, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]Result)
+	for i := 0; i < crashVocab; i++ {
+		res, err := ref.Search([]string{crashTerm(i)}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[crashTerm(i)] = res
+	}
+
+	sawOld, sawNew := false, false
+	// Write faults cover everything up to and including the switch record;
+	// erase faults also land in the post-switch cleanup (the rebuild's last
+	// writes are the compact pages and the commit — after that Reorganize
+	// only erases superseded blocks).
+	for _, op := range []flash.CrashOp{flash.CrashWrite, flash.CrashErase} {
+		for after := 0; ; after++ {
+			chip, e, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			chip.SetCrashPlan(&flash.CrashPlan{Seed: int64(after), Op: op, After: after})
+			rerr := e.Reorganize(2, 4)
+			if rerr == nil {
+				break // crash point past the whole reorganization: sweep done
+			}
+			if !errors.Is(rerr, flash.ErrCrashed) {
+				t.Fatalf("%v/after=%d: Reorganize = %v, want ErrCrashed", op, after, rerr)
+			}
+			rec, err := logstore.Recover(chip.Reopen(), nil)
+			if err != nil {
+				t.Fatalf("%v/after=%d: recover: %v", op, after, err)
+			}
+			e2, err := Reopen(rec, mcu.NewArena(crashArena), crashBuckets)
+			if err != nil {
+				t.Fatalf("%v/after=%d: reopen: %v", op, after, err)
+			}
+			if e2.CompactPages() > 0 {
+				sawNew = true
+			} else {
+				sawOld = true
+			}
+			for term, res := range want {
+				got, err := e2.Search([]string{term}, 64)
+				if err != nil {
+					t.Fatalf("%v/after=%d: search %q: %v", op, after, term, err)
+				}
+				if len(got) != len(res) {
+					t.Fatalf("%v/after=%d: %q returned %d docs, want %d (compact pages %d)",
+						op, after, term, len(got), len(res), e2.CompactPages())
+				}
+				for i := range got {
+					if got[i].Doc != res[i].Doc {
+						t.Fatalf("%v/after=%d: %q result %d = doc %d, want %d", op, after, term, i, got[i].Doc, res[i].Doc)
+					}
+				}
+			}
+			// The recovered engine keeps working across a full cycle.
+			if _, err := e2.AddDocument(map[string]int{"fresh-term": 2}); err != nil {
+				t.Fatalf("%v/after=%d: add after recovery: %v", op, after, err)
+			}
+			if err := e2.Sync(); err != nil {
+				t.Fatalf("%v/after=%d: sync after recovery: %v", op, after, err)
+			}
+			if res, err := e2.Search([]string{"fresh-term"}, 4); err != nil || len(res) != 1 {
+				t.Fatalf("%v/after=%d: fresh-term = %v, %v", op, after, res, err)
+			}
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("sweep did not cover both sides of the switch record (old=%v new=%v)", sawOld, sawNew)
+	}
+}

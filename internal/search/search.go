@@ -89,6 +89,9 @@ type Engine struct {
 	// obsv mirrors query-path work into a metrics registry when attached.
 	// The engine is single-threaded by design, so a plain field suffices.
 	obsv *obs.Registry
+	// j, when set, is the commit-record journal of the durable mode
+	// (recover.go): Sync commits, Reorganize writes a switch record.
+	j *logstore.Journal
 }
 
 // SetObserver attaches (or, with nil, detaches) a metrics registry; every
