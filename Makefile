@@ -3,12 +3,13 @@
 # concurrent substrate (netsim fault/reliability plane, ssi accounting,
 # gquery token fleet, privcrypto batch helpers, smc parallel protocols,
 # obs registry), short fuzz passes over the wire-facing decoders, the
-# determinism lint, the metrics smoke run, and a coverage summary.
+# determinism lint, the metrics smoke run, the multi-process scenario
+# gate (pdsd over the TCP substrate), and a coverage summary.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix crash-matrix-ci bench-part3 bench-snapshot bench-snapshot-ci
+.PHONY: ci build test vet race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix crash-matrix-ci scenario-ci bench-part3 bench-snapshot bench-snapshot-ci
 
 # Where `make bench-snapshot` writes the perf snapshot. Committed per PR
 # (BENCH_PR<n>.json) so performance trajectories stay diffable.
@@ -82,8 +83,17 @@ crash-matrix:
 
 crash-matrix-ci:
 	$(GO) test -short ./internal/crashharness -count=1
-	$(GO) test -short ./internal/kv ./internal/search ./internal/embdb -run 'CrashBattery' -count=1
+	$(GO) test -short ./internal/durable -run 'CrashBattery' -count=1
 	$(GO) run ./cmd/pdsbench -exp E21 -quick
+
+# Multi-process scenario gate (DESIGN §12): the clean and restart plans
+# run end-to-end as real OS processes via pdsd (separate SSI node and
+# querier processes over the TCP switch, obs snapshots collected, the
+# restart plan's process death detected by checksum), and the race
+# detector sweeps the TCP substrate and the scenario executors.
+scenario-ci:
+	$(GO) test ./cmd/pdsd -run '^TestMultiProcess(Clean|Restart)$$' -count=1 -timeout 120s
+	$(GO) test -race -short ./internal/transport ./internal/scenario -count=1 -timeout 300s
 
 # Coverage floor for the crash-recovery plane: the commit/replay path
 # (logstore), the crash plane (flash) and the battery driver must not
@@ -100,7 +110,7 @@ cover-recovery:
 	check ./internal/crashharness 75; \
 	check ./internal/flash 75
 
-ci: vet build test race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix-ci bench-snapshot-ci
+ci: vet build test race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix-ci scenario-ci bench-snapshot-ci
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:

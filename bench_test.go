@@ -369,7 +369,7 @@ func BenchmarkE6SecureAgg(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		if _, _, err := gquery.RunSecureAgg(net, srv, parts, kr, 64); err != nil {
+		if _, _, err := gquery.New().SecureAgg(net, srv, parts, kr, 64); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -385,7 +385,7 @@ func BenchmarkE6SecureAggParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Parallel()); err != nil {
+		if _, _, err := gquery.New(gquery.WithConfig(gquery.Parallel())).SecureAgg(net, srv, parts, kr, 64); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -398,7 +398,7 @@ func BenchmarkE6NoiseControlled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		if _, _, err := gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1); err != nil {
+		if _, _, err := gquery.New().Noise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -411,7 +411,7 @@ func BenchmarkE6NoiseControlledParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		if _, _, err := gquery.RunNoiseCfg(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1, gquery.Parallel()); err != nil {
+		if _, _, err := gquery.New(gquery.WithConfig(gquery.Parallel())).Noise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -428,7 +428,7 @@ func BenchmarkE6Histogram(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		if _, _, err := gquery.RunHistogram(net, srv, parts, kr, buckets); err != nil {
+		if _, _, err := gquery.New().Histogram(net, srv, parts, kr, buckets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -614,7 +614,7 @@ func BenchmarkE10Detection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.05, Seed: int64(i)})
-		_, stats, _ := gquery.RunSecureAgg(net, srv, parts, kr, 32)
+		_, stats, _ := gquery.New().SecureAgg(net, srv, parts, kr, 32)
 		if stats.Detected {
 			detected++
 		}
@@ -816,7 +816,7 @@ func BenchmarkE18SecureAggFaulty(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, cfg); err != nil {
+		if _, _, err := gquery.New(gquery.WithConfig(cfg)).SecureAgg(net, srv, parts, kr, 64); err != nil {
 			b.Fatal(err)
 		}
 	}

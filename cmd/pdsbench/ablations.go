@@ -111,7 +111,7 @@ func runE17(cfg config) error {
 	for _, chunk := range []int{8, 32, 128, 600} {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		_, stats, err := gquery.RunSecureAgg(net, srv, parts, kr, chunk)
+		_, stats, err := gquery.New().SecureAgg(net, srv, parts, kr, chunk)
 		if err != nil {
 			return err
 		}

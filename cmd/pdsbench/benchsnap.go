@@ -114,13 +114,13 @@ func gquerySim(cfg gquery.RunConfig, run func(net *netsim.Network, srv *ssi.Serv
 
 func secureAggRun(net *netsim.Network, srv *ssi.Server, parts []gquery.Participant,
 	kr *gquery.Keyring, cfg gquery.RunConfig) (gquery.RunStats, error) {
-	_, stats, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, cfg)
+	_, stats, err := gquery.New(gquery.WithConfig(cfg)).SecureAgg(net, srv, parts, kr, 64)
 	return stats, err
 }
 
 func noiseRun(net *netsim.Network, srv *ssi.Server, parts []gquery.Participant,
 	kr *gquery.Keyring, cfg gquery.RunConfig) (gquery.RunStats, error) {
-	_, stats, err := gquery.RunNoiseCfg(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1, cfg)
+	_, stats, err := gquery.New(gquery.WithConfig(cfg)).Noise(net, srv, parts, kr, workload.Diagnoses, 1, gquery.ControlledNoise, 1)
 	return stats, err
 }
 
@@ -130,7 +130,7 @@ func histogramRun(net *netsim.Network, srv *ssi.Server, parts []gquery.Participa
 	if err != nil {
 		return gquery.RunStats{}, err
 	}
-	_, stats, err := gquery.RunHistogramCfg(net, srv, parts, kr, buckets, cfg)
+	_, stats, err := gquery.New(gquery.WithConfig(cfg)).Histogram(net, srv, parts, kr, buckets)
 	return stats, err
 }
 
@@ -173,7 +173,7 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 				for i := 0; i < b.N; i++ {
 					net := netsim.New()
 					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-					if _, _, err := gquery.RunSecureAgg(net, srv, parts, kr, 64); err != nil {
+					if _, _, err := gquery.New().SecureAgg(net, srv, parts, kr, 64); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -187,7 +187,7 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 				for i := 0; i < b.N; i++ {
 					net := netsim.New()
 					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-					if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, gquery.Parallel()); err != nil {
+					if _, _, err := gquery.New(gquery.WithConfig(gquery.Parallel())).SecureAgg(net, srv, parts, kr, 64); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -200,7 +200,7 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 				for i := 0; i < b.N; i++ {
 					net := netsim.New()
 					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-					if _, _, err := gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1,
+					if _, _, err := gquery.New().Noise(net, srv, parts, kr, workload.Diagnoses, 1,
 						gquery.ControlledNoise, 1); err != nil {
 						b.Fatal(err)
 					}
@@ -214,7 +214,7 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 				for i := 0; i < b.N; i++ {
 					net := netsim.New()
 					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-					if _, _, err := gquery.RunHistogram(net, srv, parts, kr, buckets); err != nil {
+					if _, _, err := gquery.New().Histogram(net, srv, parts, kr, buckets); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -275,7 +275,7 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
 					cfg := gquery.Serial()
 					cfg.Faults = e18Plan()
-					if _, _, err := gquery.RunSecureAggCfg(net, srv, parts, kr, 64, cfg); err != nil {
+					if _, _, err := gquery.New(gquery.WithConfig(cfg)).SecureAgg(net, srv, parts, kr, 64); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -294,7 +294,7 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 					srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
 					cfg := gquery.Serial()
 					cfg.Faults = e18Plan()
-					if _, _, err := gquery.RunHistogramCfg(net, srv, parts, kr, buckets, cfg); err != nil {
+					if _, _, err := gquery.New(gquery.WithConfig(cfg)).Histogram(net, srv, parts, kr, buckets); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -508,7 +508,7 @@ func runE10(cfg config) error {
 			for trial := 0; trial < trials; trial++ {
 				net := netsim.New()
 				srv := ssi.New(net, ssi.WeaklyMalicious, k.mk(rate, int64(trial)))
-				_, stats, err := gquery.RunSecureAgg(net, srv, parts, kr, 32)
+				_, stats, err := gquery.New().SecureAgg(net, srv, parts, kr, 32)
 				if err != nil && !errors.Is(err, gquery.ErrDetected) {
 					return err
 				}
@@ -546,7 +546,7 @@ func runE10(cfg config) error {
 	for trial := 0; trial < trials; trial++ {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.01, Seed: int64(1000 + trial)})
-		res, stats, err := gquery.RunSecureAgg(net, srv, parts, kr, 32)
+		res, stats, err := gquery.New().SecureAgg(net, srv, parts, kr, 32)
 		if err != nil && !errors.Is(err, gquery.ErrDetected) {
 			return err
 		}

@@ -61,17 +61,17 @@ func Run(w io.Writer) error {
 
 	fmt.Fprintln(w, "\n-- protocols (honest-but-curious SSI) --")
 	if err := run("secure-agg", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-		return gquery.RunSecureAgg(net, srv, parts, kr, 64)
+		return gquery.New().SecureAgg(net, srv, parts, kr, 64)
 	}); err != nil {
 		return err
 	}
 	if err := run("noise-white", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-		return gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1.0, gquery.WhiteNoise, 1)
+		return gquery.New().Noise(net, srv, parts, kr, workload.Diagnoses, 1.0, gquery.WhiteNoise, 1)
 	}); err != nil {
 		return err
 	}
 	if err := run("noise-controlled", func(net *netsim.Network, srv *ssi.Server) (gquery.Result, gquery.RunStats, error) {
-		return gquery.RunNoise(net, srv, parts, kr, workload.Diagnoses, 1.0, gquery.ControlledNoise, 1)
+		return gquery.New().Noise(net, srv, parts, kr, workload.Diagnoses, 1.0, gquery.ControlledNoise, 1)
 	}); err != nil {
 		return err
 	}
@@ -85,7 +85,7 @@ func Run(w io.Writer) error {
 		}
 		net := netsim.New()
 		srv := ssi.New(net, ssi.HonestButCurious, ssi.Behavior{})
-		br, _, err := gquery.RunHistogram(net, srv, parts, kr, buckets)
+		br, _, err := gquery.New().Histogram(net, srv, parts, kr, buckets)
 		if err != nil {
 			return err
 		}
@@ -136,7 +136,7 @@ func Run(w io.Writer) error {
 	} {
 		net := netsim.New()
 		srv := ssi.New(net, ssi.WeaklyMalicious, b)
-		_, stats, err := gquery.RunSecureAgg(net, srv, parts, kr, 64)
+		_, stats, err := gquery.New().SecureAgg(net, srv, parts, kr, 64)
 		verdict := "MISSED"
 		if errors.Is(err, gquery.ErrDetected) && stats.Detected {
 			verdict = "DETECTED"

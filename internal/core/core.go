@@ -270,21 +270,22 @@ func (d *Directory) Run(q GlobalQuery) (*GlobalResult, error) {
 	}
 
 	out := &GlobalResult{Participants: len(parts), Denied: denied}
+	eng := gquery.New()
 	var err error
 	switch q.Protocol {
 	case SecureAgg:
-		out.Result, out.Stats, err = gquery.RunSecureAgg(net, srv, parts, kr, q.ChunkSize)
+		out.Result, out.Stats, err = eng.SecureAgg(net, srv, parts, kr, q.ChunkSize)
 	case NoiseWhite:
-		out.Result, out.Stats, err = gquery.RunNoise(net, srv, parts, kr, q.Domain, q.NoisePerTuple, gquery.WhiteNoise, q.Seed)
+		out.Result, out.Stats, err = eng.Noise(net, srv, parts, kr, q.Domain, q.NoisePerTuple, gquery.WhiteNoise, q.Seed)
 	case NoiseControlled:
-		out.Result, out.Stats, err = gquery.RunNoise(net, srv, parts, kr, q.Domain, q.NoisePerTuple, gquery.ControlledNoise, q.Seed)
+		out.Result, out.Stats, err = eng.Noise(net, srv, parts, kr, q.Domain, q.NoisePerTuple, gquery.ControlledNoise, q.Seed)
 	case Histogram:
 		buckets, berr := gquery.EquiDepthBuckets(q.Domain, nil, q.Buckets)
 		if berr != nil {
 			return nil, berr
 		}
 		var br gquery.BucketResult
-		br, out.Stats, err = gquery.RunHistogram(net, srv, parts, kr, buckets)
+		br, out.Stats, err = eng.Histogram(net, srv, parts, kr, buckets)
 		if err == nil {
 			out.Result = gquery.EstimateGroups(br, buckets)
 		}
@@ -295,7 +296,7 @@ func (d *Directory) Run(q GlobalQuery) (*GlobalResult, error) {
 		if kerr != nil {
 			return nil, kerr
 		}
-		out.Result, out.Stats, err = gquery.RunPaillierAgg(net, srv, parts, kr, sk.Public(), sk)
+		out.Result, out.Stats, err = eng.PaillierAgg(net, srv, parts, kr, sk.Public(), sk)
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %v", q.Protocol)
 	}

@@ -18,24 +18,17 @@ import (
 	"errors"
 	"fmt"
 
+	"pds/internal/durable"
 	"pds/internal/flash"
 	"pds/internal/logstore"
 	"pds/internal/obs"
 )
 
-// Store is the store-side contract a workload adapts to the battery.
-type Store interface {
-	// Apply performs operation op (deterministic in op). It must not
-	// append commit records — those belong to Sync.
-	Apply(op int) error
-	// Sync is the durability point: flush + commit record. It may also
-	// reorganize (compact) — every commit it appends must describe the
-	// same logical contents.
-	Sync() error
-	// Fingerprint returns a canonical digest of the store's logical
-	// contents, equal across physical layouts (pre/post compaction).
-	Fingerprint() (string, error)
-}
+// Store is the store-side contract a workload adapts to the battery —
+// the unified durable-store surface. Apply must not append commit
+// records (those belong to Sync); Sync is the durability point (and may
+// reorganize first); Fingerprint digests logical contents canonically.
+type Store = durable.Store
 
 // Workload describes one deterministic store workload.
 type Workload struct {
@@ -47,6 +40,13 @@ type Workload struct {
 	Open func(alloc *flash.Allocator) (Store, error)
 	// Reopen reconstructs the store from recovered state.
 	Reopen func(rec *logstore.Recovered) (Store, error)
+}
+
+// WorkloadFor adapts a conforming engine to its canonical crash
+// workload: the battery drives any durable.Kind without knowing which
+// store is behind it.
+func WorkloadFor(k durable.Kind) Workload {
+	return Workload{Name: k.Name, Ops: k.Ops, SyncEvery: k.SyncEvery, Open: k.Open, Reopen: k.Reopen}
 }
 
 func (w Workload) geometry() flash.Geometry {

@@ -1,0 +1,108 @@
+package durable_test
+
+import (
+	"testing"
+
+	"pds/internal/crashharness"
+	"pds/internal/durable"
+	"pds/internal/flash"
+	"pds/internal/logstore"
+)
+
+// The unified crash battery (DESIGN §11): every conforming engine is swept
+// across its fault kinds through the same generic harness. The per-engine
+// directed tests (sync durability points, mid-reorganize crashes,
+// in-place-area faults) stay next to their engines; prefix consistency
+// under power failure is proven here, once, for all of them.
+func TestDurableCrashBattery(t *testing.T) {
+	for _, k := range durable.Kinds() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			w := crashharness.WorkloadFor(k)
+			base, err := crashharness.Baseline(w)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if want := k.Ops/k.SyncEvery + 1; k.Ops%k.SyncEvery == 0 && len(base) != want {
+				t.Fatalf("baseline boundaries = %d, want %d", len(base), want)
+			}
+			stride := 1
+			if testing.Short() {
+				stride = 7
+			}
+			for _, op := range k.CrashOps {
+				op := op
+				t.Run(op.String(), func(t *testing.T) {
+					st, err := crashharness.Sweep(w, op, 0xC0FFEE, stride, base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.Crashes == 0 {
+						t.Fatalf("%v sweep never fired a crash (%d runs)", op, st.Runs)
+					}
+					t.Logf("%v: %d crash points, max recovery = %+v, max recovery I/O reads = %d",
+						op, st.Crashes, st.MaxRecovery, st.MaxIO.PageReads)
+				})
+			}
+		})
+	}
+}
+
+// ByName is how pdsd's store role resolves its engine; pin the mapping.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"kv", "search", "embdb"} {
+		k, ok := durable.ByName(name)
+		if !ok || k.Name != name {
+			t.Fatalf("ByName(%q) = %+v, %v", name, k, ok)
+		}
+		if k.Open == nil || k.Reopen == nil || k.Ops <= 0 || k.SyncEvery <= 0 || len(k.CrashOps) == 0 {
+			t.Fatalf("kind %q incomplete: %+v", name, k)
+		}
+	}
+	if _, ok := durable.ByName("btree"); ok {
+		t.Fatal("ByName accepted an unknown engine")
+	}
+}
+
+// A fresh store of every kind round-trips through one sync + reopen with
+// an identical fingerprint — the cheap smoke version of the battery that
+// multi-process runs use as a liveness check.
+func TestSyncReopenFingerprint(t *testing.T) {
+	for _, k := range durable.Kinds() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			chip := flash.NewChip(flash.SmallGeometry())
+			st, err := k.Open(flash.NewAllocator(chip))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for op := 0; op < k.SyncEvery; op++ {
+				if err := st.Apply(op); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			want, err := st.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := logstore.Recover(chip.Reopen(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := k.Reopen(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := st2.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("fingerprint changed across reopen:\n  before %s\n  after  %s", want, got)
+			}
+		})
+	}
+}

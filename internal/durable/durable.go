@@ -1,0 +1,288 @@
+// Package durable unifies the durable-store surface of the PDS engines.
+// Three storage engines persist through the same commit-record journal
+// (DESIGN §11) — the kv log store, the embedded search index and the
+// embdb sequential tables — but each grew its own open/sync/reopen
+// spelling. This package collapses them behind one contract: a Store is a
+// live instance driven through a deterministic operation stream, and a
+// Kind knows how to open a fresh instance on a flash allocator and how to
+// reconstruct one from logstore.Recover output. The crash-recovery
+// battery (internal/crashharness) and the multi-process store role of
+// cmd/pdsd both drive Kinds generically, so a new engine joins every
+// durability harness by adding one Kind here.
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"pds/internal/embdb"
+	"pds/internal/flash"
+	"pds/internal/kv"
+	"pds/internal/logstore"
+	"pds/internal/mcu"
+	"pds/internal/search"
+)
+
+// Store is one live durable store behind the unified surface. Apply and
+// Fingerprint make the store drivable by deterministic harnesses: Apply
+// performs the op-th workload operation (pure in op), Sync is the
+// durability point (flush + commit record, possibly preceded by a
+// reorganization), and Fingerprint digests the logical contents
+// canonically — equal across physical layouts, e.g. before and after
+// compaction.
+type Store interface {
+	Apply(op int) error
+	Sync() error
+	Fingerprint() (string, error)
+}
+
+// Kind is one storage engine conforming to the durable contract.
+type Kind struct {
+	Name string
+	// Ops and SyncEvery shape the engine's canonical crash workload.
+	Ops       int
+	SyncEvery int
+	// CrashOps lists the fault kinds the engine's battery sweeps.
+	CrashOps []flash.CrashOp
+	// Open creates a fresh store (journal included) on alloc.
+	Open func(alloc *flash.Allocator) (Store, error)
+	// Reopen reconstructs the store from recovered state.
+	Reopen func(rec *logstore.Recovered) (Store, error)
+}
+
+// Kinds returns every conforming engine, in stable order.
+func Kinds() []Kind {
+	return []Kind{kvKind(), searchKind(), embdbKind()}
+}
+
+// ByName resolves one engine by its Kind name.
+func ByName(name string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kind{}, false
+}
+
+// --- kv ---
+
+const kvKeyUniverse = 17
+
+// kvStore drives the kv log store: put/overwrite/delete with periodic
+// compaction, fingerprinted by the full key universe.
+type kvStore struct {
+	s     *kv.Store
+	syncs int
+}
+
+func (w *kvStore) key(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
+
+func (w *kvStore) Apply(op int) error {
+	key := w.key(op % kvKeyUniverse)
+	if op%7 == 3 {
+		return w.s.Delete(key)
+	}
+	return w.s.Put(key, []byte(fmt.Sprintf("val-%05d-%032d", op, op*op)))
+}
+
+func (w *kvStore) Sync() error {
+	w.syncs++
+	// Every third boundary reorganizes first, so crash sweeps also land
+	// inside Compact's rebuild and atomic switch.
+	if w.syncs%3 == 0 {
+		if err := w.s.Compact(2, 4); err != nil {
+			return err
+		}
+	}
+	return w.s.Sync()
+}
+
+func (w *kvStore) Fingerprint() (string, error) {
+	h := sha256.New()
+	for i := 0; i < kvKeyUniverse; i++ {
+		v, _, err := w.s.Get(w.key(i))
+		switch {
+		case errors.Is(err, kv.ErrNotFound):
+			fmt.Fprintf(h, "%03d=absent\n", i)
+		case err != nil:
+			return "", err
+		default:
+			fmt.Fprintf(h, "%03d=%s\n", i, v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func kvKind() Kind {
+	return Kind{
+		Name:      "kv",
+		Ops:       56,
+		SyncEvery: 8,
+		CrashOps:  []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite, flash.CrashErase},
+		Open: func(alloc *flash.Allocator) (Store, error) {
+			s, err := kv.OpenDurable(alloc)
+			if err != nil {
+				return nil, err
+			}
+			return &kvStore{s: s}, nil
+		},
+		Reopen: func(rec *logstore.Recovered) (Store, error) {
+			s, err := kv.Reopen(rec)
+			if err != nil {
+				return nil, err
+			}
+			return &kvStore{s: s}, nil
+		},
+	}
+}
+
+// --- search ---
+
+const (
+	searchBuckets = 4
+	searchVocab   = 10
+	searchArena   = 8192
+)
+
+func searchTerm(i int) string { return fmt.Sprintf("term-%02d", i%searchVocab) }
+
+// searchStore drives the embedded search index: three-term documents with
+// periodic reorganization, fingerprinted by per-term document frequencies
+// and ranked scores.
+type searchStore struct {
+	e     *search.Engine
+	syncs int
+}
+
+func (w *searchStore) Apply(op int) error {
+	doc := map[string]int{
+		searchTerm(op):       op%4 + 1,
+		searchTerm(op*5 + 1): op%3 + 1,
+		searchTerm(op*7 + 3): 1,
+	}
+	_, err := w.e.AddDocument(doc)
+	return err
+}
+
+func (w *searchStore) Sync() error {
+	w.syncs++
+	// Every second boundary reorganizes first, so sweeps hit crash points
+	// throughout the rebuild and on both sides of the switch record.
+	if w.syncs%2 == 0 {
+		if err := w.e.Reorganize(2, 4); err != nil {
+			return err
+		}
+	}
+	return w.e.Sync()
+}
+
+func (w *searchStore) Fingerprint() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "ndocs=%d next=%d\n", w.e.NumDocs(), w.e.NextDoc())
+	for i := 0; i < searchVocab; i++ {
+		t := searchTerm(i)
+		fmt.Fprintf(h, "%s df=%d:", t, w.e.DocFreq(t))
+		if w.e.DocFreq(t) > 0 {
+			res, err := w.e.Search([]string{t}, 64)
+			if err != nil {
+				return "", err
+			}
+			for _, r := range res {
+				fmt.Fprintf(h, " %d=%.9f", r.Doc, r.Score)
+			}
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func searchKind() Kind {
+	return Kind{
+		Name:      "search",
+		Ops:       36,
+		SyncEvery: 6,
+		CrashOps:  []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite, flash.CrashErase},
+		Open: func(alloc *flash.Allocator) (Store, error) {
+			e, err := search.OpenDurable(alloc, mcu.NewArena(searchArena), searchBuckets)
+			if err != nil {
+				return nil, err
+			}
+			return &searchStore{e: e}, nil
+		},
+		Reopen: func(rec *logstore.Recovered) (Store, error) {
+			e, err := search.Reopen(rec, mcu.NewArena(searchArena), searchBuckets)
+			if err != nil {
+				return nil, err
+			}
+			return &searchStore{e: e}, nil
+		},
+	}
+}
+
+// --- embdb ---
+
+var embdbSchema = embdb.NewSchema(embdb.Column{Name: "id", Type: embdb.Int}, embdb.Column{Name: "name", Type: embdb.Str})
+
+// embdbStore drives one sequential table, fingerprinted by a full scan
+// plus a random access that must agree with it after any recovery.
+type embdbStore struct {
+	t *embdb.Table
+	j *logstore.Journal
+}
+
+func (w *embdbStore) Apply(op int) error {
+	_, err := w.t.Insert(embdb.Row{embdb.IntVal(int64(op)), embdb.StrVal(fmt.Sprintf("customer-%04d-padding", op))})
+	return err
+}
+
+func (w *embdbStore) Sync() error { return embdb.SyncTables(w.j, w.t) }
+
+func (w *embdbStore) Fingerprint() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "rows=%d\n", w.t.Len())
+	it := w.t.Scan()
+	for {
+		row, rid, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Fprintf(h, "%d: %v|%v\n", rid, row[0], row[1])
+	}
+	if err := it.Err(); err != nil {
+		return "", err
+	}
+	if w.t.Len() > 0 {
+		row, err := w.t.Get(embdb.RowID(w.t.Len() - 1))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "last=%v\n", row[0])
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func embdbKind() Kind {
+	return Kind{
+		Name:      "embdb",
+		Ops:       45,
+		SyncEvery: 9,
+		CrashOps:  []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite},
+		Open: func(alloc *flash.Allocator) (Store, error) {
+			j, err := logstore.NewJournal(alloc)
+			if err != nil {
+				return nil, err
+			}
+			return &embdbStore{t: embdb.NewTable(alloc, "customer", embdbSchema), j: j}, nil
+		},
+		Reopen: func(rec *logstore.Recovered) (Store, error) {
+			t, err := embdb.ReopenTable(rec, "customer", embdbSchema)
+			if err != nil {
+				return nil, err
+			}
+			return &embdbStore{t: t, j: rec.Journal}, nil
+		},
+	}
+}

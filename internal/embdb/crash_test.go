@@ -1,106 +1,20 @@
 package embdb
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"testing"
 
-	"pds/internal/crashharness"
 	"pds/internal/flash"
 	"pds/internal/logstore"
 )
 
-// Table crash battery (DESIGN §11) and the in-place-area fault tests: a
-// failed in-place update must leave every prior entry readable, because
-// the block rewrite is copy-on-write.
+// The table crash battery now runs generically from internal/durable
+// (the "embdb" Kind); this file keeps the directed reopen-resume and
+// in-place-area fault tests: a failed in-place update must leave every
+// prior entry readable, because the block rewrite is copy-on-write.
 
 var crashSchema = NewSchema(Column{"id", Int}, Column{"name", Str})
-
-type crashTable struct {
-	t *Table
-	j *logstore.Journal
-}
-
-func (w *crashTable) Apply(op int) error {
-	_, err := w.t.Insert(Row{IntVal(int64(op)), StrVal(fmt.Sprintf("customer-%04d-padding", op))})
-	return err
-}
-
-func (w *crashTable) Sync() error { return SyncTables(w.j, w.t) }
-
-func (w *crashTable) Fingerprint() (string, error) {
-	h := sha256.New()
-	fmt.Fprintf(h, "rows=%d\n", w.t.Len())
-	it := w.t.Scan()
-	for {
-		row, rid, ok := it.Next()
-		if !ok {
-			break
-		}
-		fmt.Fprintf(h, "%d: %v|%v\n", rid, row[0], row[1])
-	}
-	if err := it.Err(); err != nil {
-		return "", err
-	}
-	// Random access must agree with the scan after any recovery.
-	if w.t.Len() > 0 {
-		row, err := w.t.Get(RowID(w.t.Len() - 1))
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(h, "last=%v\n", row[0])
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-func tableWorkload() crashharness.Workload {
-	return crashharness.Workload{
-		Name:      "embdb",
-		Ops:       45,
-		SyncEvery: 9,
-		Open: func(alloc *flash.Allocator) (crashharness.Store, error) {
-			j, err := logstore.NewJournal(alloc)
-			if err != nil {
-				return nil, err
-			}
-			return &crashTable{t: NewTable(alloc, "customer", crashSchema), j: j}, nil
-		},
-		Reopen: func(rec *logstore.Recovered) (crashharness.Store, error) {
-			t, err := ReopenTable(rec, "customer", crashSchema)
-			if err != nil {
-				return nil, err
-			}
-			return &crashTable{t: t, j: rec.Journal}, nil
-		},
-	}
-}
-
-func TestTableCrashBattery(t *testing.T) {
-	w := tableWorkload()
-	base, err := crashharness.Baseline(w)
-	if err != nil {
-		t.Fatalf("baseline: %v", err)
-	}
-	stride := 1
-	if testing.Short() {
-		stride = 7
-	}
-	for _, op := range []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite} {
-		op := op
-		t.Run(op.String(), func(t *testing.T) {
-			st, err := crashharness.Sweep(w, op, 0xDB, stride, base)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if st.Crashes == 0 {
-				t.Fatalf("%v sweep never fired a crash (%d runs)", op, st.Runs)
-			}
-			t.Logf("%v: %d crash points, max recovery = %+v", op, st.Crashes, st.MaxRecovery)
-		})
-	}
-}
 
 // TestReopenTableResumesInserts closes the loop: recover mid-workload,
 // keep inserting, sync, recover again.

@@ -6,6 +6,7 @@ import (
 	"pds/internal/netsim"
 	"pds/internal/obs"
 	"pds/internal/privcrypto"
+	tnet "pds/internal/transport"
 )
 
 // Engine is the option-based execution surface of the Part III protocol
@@ -15,7 +16,7 @@ import (
 //		gquery.WithWorkers(8),
 //		gquery.WithFaults(&plan),
 //		gquery.WithObserver(reg),
-//	).SecureAgg(net, srv, parts, kr, chunkSize)
+//	).SecureAgg(wire, srv, parts, kr, chunkSize)
 //
 // An Engine is immutable after New and safe to reuse across runs; each run
 // still gets its own observability epoch.
@@ -96,28 +97,29 @@ func WithConfig(cfg RunConfig) Option {
 func (e *Engine) Config() RunConfig { return e.cfg }
 
 // SecureAgg runs the secure-aggregation protocol (non-deterministic
-// encryption, blind partitioning, worker-token aggregation).
-func (e *Engine) SecureAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
+// encryption, blind partitioning, worker-token aggregation) over any
+// transport substrate — the in-process simulator or the TCP wire.
+func (e *Engine) SecureAgg(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring,
 	chunkSize int) (Result, RunStats, error) {
-	return RunSecureAggCfg(net, srv, parts, kr, chunkSize, e.cfg)
+	return runSecureAgg(w, srv, parts, kr, chunkSize, e.cfg)
 }
 
 // Noise runs the noise-based protocol (deterministic grouping attribute +
 // fake tuples).
-func (e *Engine) Noise(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
+func (e *Engine) Noise(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
-	return RunNoiseCfg(net, srv, parts, kr, domain, noisePerTuple, kind, seed, e.cfg)
+	return runNoise(w, srv, parts, kr, domain, noisePerTuple, kind, seed, e.cfg)
 }
 
 // Histogram runs the histogram-based protocol (equi-depth buckets).
-func (e *Engine) Histogram(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
+func (e *Engine) Histogram(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring,
 	buckets []Bucket) (BucketResult, RunStats, error) {
-	return RunHistogramCfg(net, srv, parts, kr, buckets, e.cfg)
+	return runHistogram(w, srv, parts, kr, buckets, e.cfg)
 }
 
 // PaillierAgg runs the additively homomorphic protocol (the SSI aggregates
 // ciphertexts itself; only per-group sums visit the decryption token).
-func (e *Engine) PaillierAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
+func (e *Engine) PaillierAgg(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring,
 	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey) (Result, RunStats, error) {
-	return RunPaillierAggCfg(net, srv, parts, kr, pk, sk, e.cfg)
+	return runPaillierAgg(w, srv, parts, kr, pk, sk, e.cfg)
 }

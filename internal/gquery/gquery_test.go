@@ -58,7 +58,7 @@ func freshRun(t testing.TB, mode ssi.Mode, b ssi.Behavior) (*netsim.Network, *ss
 func TestSecureAggCorrect(t *testing.T) {
 	parts := makeParts(20, 5, testDomain, 1)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	res, stats, err := RunSecureAgg(net, srv, parts, mustKeyring(t), 10)
+	res, stats, err := New().SecureAgg(net, srv, parts, mustKeyring(t), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestSecureAggCorrect(t *testing.T) {
 func TestSecureAggLeaksNothing(t *testing.T) {
 	parts := makeParts(10, 10, testDomain, 2)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	if _, _, err := RunSecureAgg(net, srv, parts, mustKeyring(t), 25); err != nil {
+	if _, _, err := New().SecureAgg(net, srv, parts, mustKeyring(t), 25); err != nil {
 		t.Fatal(err)
 	}
 	o := srv.Observations()
@@ -96,10 +96,10 @@ func TestSecureAggLeaksNothing(t *testing.T) {
 func TestSecureAggValidation(t *testing.T) {
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
 	kr := mustKeyring(t)
-	if _, _, err := RunSecureAgg(net, srv, nil, kr, 10); !errors.Is(err, ErrNoParticipants) {
+	if _, _, err := New().SecureAgg(net, srv, nil, kr, 10); !errors.Is(err, ErrNoParticipants) {
 		t.Errorf("no participants err = %v", err)
 	}
-	if _, _, err := RunSecureAgg(net, srv, makeParts(2, 2, testDomain, 3), kr, 0); !errors.Is(err, ErrBadChunkSize) {
+	if _, _, err := New().SecureAgg(net, srv, makeParts(2, 2, testDomain, 3), kr, 0); !errors.Is(err, ErrBadChunkSize) {
 		t.Errorf("bad chunk err = %v", err)
 	}
 }
@@ -107,7 +107,7 @@ func TestSecureAggValidation(t *testing.T) {
 func TestSecureAggDetectsDrop(t *testing.T) {
 	parts := makeParts(10, 5, testDomain, 4)
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.2, Seed: 5})
-	_, stats, err := RunSecureAgg(net, srv, parts, mustKeyring(t), 10)
+	_, stats, err := New().SecureAgg(net, srv, parts, mustKeyring(t), 10)
 	if !errors.Is(err, ErrDetected) || !stats.Detected {
 		t.Errorf("dropping SSI not detected: err=%v stats=%+v", err, stats)
 	}
@@ -116,7 +116,7 @@ func TestSecureAggDetectsDrop(t *testing.T) {
 func TestSecureAggDetectsDuplicate(t *testing.T) {
 	parts := makeParts(10, 5, testDomain, 6)
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{DuplicateRate: 0.3, Seed: 7})
-	_, stats, err := RunSecureAgg(net, srv, parts, mustKeyring(t), 10)
+	_, stats, err := New().SecureAgg(net, srv, parts, mustKeyring(t), 10)
 	if !errors.Is(err, ErrDetected) || !stats.Detected {
 		t.Errorf("duplicating SSI not detected: err=%v stats=%+v", err, stats)
 	}
@@ -125,7 +125,7 @@ func TestSecureAggDetectsDuplicate(t *testing.T) {
 func TestSecureAggDetectsForgery(t *testing.T) {
 	parts := makeParts(10, 5, testDomain, 8)
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{ForgeRate: 0.3, Seed: 9})
-	_, stats, err := RunSecureAgg(net, srv, parts, mustKeyring(t), 10)
+	_, stats, err := New().SecureAgg(net, srv, parts, mustKeyring(t), 10)
 	if !errors.Is(err, ErrDetected) {
 		t.Errorf("forging SSI not detected: err=%v", err)
 	}
@@ -139,7 +139,7 @@ func TestNoiseProtocolExactUnderAllKinds(t *testing.T) {
 	want := PlainResult(parts)
 	for _, kind := range []NoiseKind{NoNoise, WhiteNoise, ControlledNoise} {
 		net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-		res, stats, err := RunNoise(net, srv, parts, mustKeyring(t), testDomain, 1.5, kind, 11)
+		res, stats, err := New().Noise(net, srv, parts, mustKeyring(t), testDomain, 1.5, kind, 11)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -161,7 +161,7 @@ func TestNoiseReducesLeakage(t *testing.T) {
 
 	leakage := func(noise float64, kind NoiseKind) map[string]int {
 		net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-		if _, _, err := RunNoise(net, srv, parts, kr, testDomain, noise, kind, 13); err != nil {
+		if _, _, err := New().Noise(net, srv, parts, kr, testDomain, noise, kind, 13); err != nil {
 			t.Fatal(err)
 		}
 		return srv.Observations().GroupFrequencies
@@ -207,7 +207,7 @@ func TestNoiseReducesLeakage(t *testing.T) {
 func TestNoiseDetectsMisbehaviour(t *testing.T) {
 	parts := makeParts(10, 5, testDomain, 14)
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.25, Seed: 15})
-	_, stats, err := RunNoise(net, srv, parts, mustKeyring(t), testDomain, 1, WhiteNoise, 16)
+	_, stats, err := New().Noise(net, srv, parts, mustKeyring(t), testDomain, 1, WhiteNoise, 16)
 	if !errors.Is(err, ErrDetected) || !stats.Detected {
 		t.Errorf("noise protocol missed dropping SSI: err=%v", err)
 	}
@@ -216,10 +216,10 @@ func TestNoiseDetectsMisbehaviour(t *testing.T) {
 func TestNoiseNeedsDomain(t *testing.T) {
 	parts := makeParts(3, 2, testDomain, 17)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	if _, _, err := RunNoise(net, srv, parts, mustKeyring(t), nil, 1, WhiteNoise, 18); err == nil {
+	if _, _, err := New().Noise(net, srv, parts, mustKeyring(t), nil, 1, WhiteNoise, 18); err == nil {
 		t.Error("white noise without domain accepted")
 	}
-	if _, _, err := RunNoise(net, srv, nil, mustKeyring(t), testDomain, 1, NoNoise, 19); !errors.Is(err, ErrNoParticipants) {
+	if _, _, err := New().Noise(net, srv, nil, mustKeyring(t), testDomain, 1, NoNoise, 19); !errors.Is(err, ErrNoParticipants) {
 		t.Errorf("no participants err = %v", err)
 	}
 }
@@ -286,7 +286,7 @@ func TestHistogramBucketTotalsExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	br, stats, err := RunHistogram(net, srv, parts, mustKeyring(t), buckets)
+	br, stats, err := New().Histogram(net, srv, parts, mustKeyring(t), buckets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestHistogramLeaksOnlyBuckets(t *testing.T) {
 	parts := makeParts(20, 5, testDomain, 21)
 	buckets, _ := EquiDepthBuckets(testDomain, nil, 2)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	if _, _, err := RunHistogram(net, srv, parts, mustKeyring(t), buckets); err != nil {
+	if _, _, err := New().Histogram(net, srv, parts, mustKeyring(t), buckets); err != nil {
 		t.Fatal(err)
 	}
 	o := srv.Observations()
@@ -331,7 +331,7 @@ func TestHistogramAccuracyImprovesWithBuckets(t *testing.T) {
 			t.Fatal(err)
 		}
 		net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-		br, _, err := RunHistogram(net, srv, parts, kr, buckets)
+		br, _, err := New().Histogram(net, srv, parts, kr, buckets)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -362,7 +362,7 @@ func TestHistogramDetectsMisbehaviour(t *testing.T) {
 	parts := makeParts(10, 5, testDomain, 23)
 	buckets, _ := EquiDepthBuckets(testDomain, nil, 3)
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{DuplicateRate: 0.3, Seed: 24})
-	_, stats, err := RunHistogram(net, srv, parts, mustKeyring(t), buckets)
+	_, stats, err := New().Histogram(net, srv, parts, mustKeyring(t), buckets)
 	if !errors.Is(err, ErrDetected) || !stats.Detected {
 		t.Errorf("histogram missed duplicating SSI: err=%v", err)
 	}
@@ -372,7 +372,7 @@ func TestHistogramOutOfDomainGroup(t *testing.T) {
 	parts := []Participant{{ID: "p", Tuples: []Tuple{{Group: "unknown", Value: 1}}}}
 	buckets, _ := EquiDepthBuckets(testDomain, nil, 2)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	if _, _, err := RunHistogram(net, srv, parts, mustKeyring(t), buckets); err == nil {
+	if _, _, err := New().Histogram(net, srv, parts, mustKeyring(t), buckets); err == nil {
 		t.Error("out-of-domain group accepted")
 	}
 }
@@ -434,7 +434,7 @@ func TestProtocolsComputeMinMax(t *testing.T) {
 		t.Fatalf("plain min/max wrong: %+v", want)
 	}
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	res, _, err := RunSecureAgg(net, srv, parts, mustKeyring(t), 2)
+	res, _, err := New().SecureAgg(net, srv, parts, mustKeyring(t), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +472,7 @@ func TestSecureAggInvariantUnderPermutation(t *testing.T) {
 	kr := mustKeyring(t)
 	run := func(ps []Participant) Result {
 		net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-		res, _, err := RunSecureAgg(net, srv, ps, kr, 7)
+		res, _, err := New().SecureAgg(net, srv, ps, kr, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -494,12 +494,12 @@ func TestProtocolsIgnoreEmptyParticipants(t *testing.T) {
 	for name, run := range map[string]func(ps []Participant) (Result, error){
 		"secure-agg": func(ps []Participant) (Result, error) {
 			net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-			r, _, err := RunSecureAgg(net, srv, ps, kr, 5)
+			r, _, err := New().SecureAgg(net, srv, ps, kr, 5)
 			return r, err
 		},
 		"noise": func(ps []Participant) (Result, error) {
 			net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-			r, _, err := RunNoise(net, srv, ps, kr, testDomain, 1, ControlledNoise, 53)
+			r, _, err := New().Noise(net, srv, ps, kr, testDomain, 1, ControlledNoise, 53)
 			return r, err
 		},
 	} {
@@ -530,7 +530,7 @@ func TestSecureAggInvariantUnderSplit(t *testing.T) {
 	)
 	run := func(ps []Participant) Result {
 		net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-		r, _, err := RunSecureAgg(net, srv, ps, kr, 9)
+		r, _, err := New().SecureAgg(net, srv, ps, kr, 9)
 		if err != nil {
 			t.Fatal(err)
 		}

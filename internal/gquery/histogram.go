@@ -8,6 +8,7 @@ import (
 
 	"pds/internal/netsim"
 	"pds/internal/ssi"
+	tnet "pds/internal/transport"
 )
 
 // Bucket is one equi-depth histogram bucket over the (ordered) group
@@ -85,24 +86,14 @@ func BucketOf(buckets []Bucket, group string) int {
 // BucketResult maps bucket index to its aggregate.
 type BucketResult map[int]GroupAgg
 
-// RunHistogram executes the histogram-based protocol: each PDS tags its
+// runHistogram executes the histogram-based protocol: each PDS tags its
 // (non-deterministically encrypted) tuple with the public bucket id of its
 // group; the SSI partitions by bucket id — the only thing it learns — and
 // each bucket goes to a token that returns the bucket aggregate. The
-// result is coarse: per bucket, not per group (see EstimateGroups).
-//
-// Deprecated: use New().Histogram.
-func RunHistogram(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
-	buckets []Bucket) (BucketResult, RunStats, error) {
-	return RunHistogramCfg(net, srv, parts, kr, buckets, Serial())
-}
-
-// RunHistogramCfg is RunHistogram with an explicit execution config: the
+// result is coarse: per bucket, not per group (see EstimateGroups). The
 // per-bucket token aggregation fans out over cfg.Workers concurrent
 // tokens, scheduled in bucket-id order so results match the serial run.
-//
-// Deprecated: use New(WithConfig(cfg)).Histogram.
-func RunHistogramCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
+func runHistogram(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring,
 	buckets []Bucket, cfg RunConfig) (BucketResult, RunStats, error) {
 
 	var stats RunStats
@@ -112,7 +103,7 @@ func RunHistogramCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Ke
 	if len(buckets) == 0 {
 		return nil, stats, fmt.Errorf("gquery: no buckets")
 	}
-	tp := newTransport(net, cfg, "histogram")
+	tp := newTransport(w, cfg, "histogram")
 	defer tp.close()
 
 	// Collection: bucket id rides in clear, everything else encrypted.

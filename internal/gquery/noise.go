@@ -9,6 +9,7 @@ import (
 
 	"pds/internal/netsim"
 	"pds/internal/ssi"
+	tnet "pds/internal/transport"
 )
 
 // NoiseKind selects how fake tuples are drawn in the noise-based protocol.
@@ -40,27 +41,17 @@ func (k NoiseKind) String() string {
 	}
 }
 
-// RunNoise executes the noise-based protocol (deterministic encryption +
+// runNoise executes the noise-based protocol (deterministic encryption +
 // fake tuples): the grouping attribute travels under deterministic
 // encryption so the SSI groups equal values itself — no worker tokens are
 // needed for partitioning — while each group's measure ciphertexts go to a
 // token that discards fakes and aggregates. noisePerTuple fakes are
 // injected per true tuple (fractional values are rounded stochastically).
-// Results are exact; leakage is the noised frequency histogram.
-//
-// Deprecated: use New().Noise.
-func RunNoise(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
-	domain []string, noisePerTuple float64, kind NoiseKind, seed int64) (Result, RunStats, error) {
-	return RunNoiseCfg(net, srv, parts, kr, domain, noisePerTuple, kind, seed, Serial())
-}
-
-// RunNoiseCfg is RunNoise with an explicit execution config: the per-group
-// token aggregation fans out over cfg.Workers concurrent tokens. Groups
-// are scheduled in sorted deterministic order and partials folded in that
-// order, so results match the serial run.
-//
-// Deprecated: use New(WithConfig(cfg)).Noise.
-func RunNoiseCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
+// Results are exact; leakage is the noised frequency histogram. The
+// per-group token aggregation fans out over cfg.Workers concurrent
+// tokens; groups are scheduled in sorted deterministic order and partials
+// folded in that order, so results match the serial run.
+func runNoise(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring,
 	domain []string, noisePerTuple float64, kind NoiseKind, seed int64, cfg RunConfig) (Result, RunStats, error) {
 
 	var stats RunStats
@@ -72,7 +63,7 @@ func RunNoiseCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyrin
 	}
 	rng := rand.New(rand.NewSource(seed))
 	fakesPer := map[string]int{}
-	tp := newTransport(net, cfg, "noise")
+	tp := newTransport(w, cfg, "noise")
 	defer tp.close()
 
 	// Collection: true tuples first, then fakes, under one id sequence.

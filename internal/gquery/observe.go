@@ -5,6 +5,7 @@ import (
 
 	"pds/internal/netsim"
 	"pds/internal/obs"
+	tnet "pds/internal/transport"
 )
 
 // Protocol-level metric families. Together with the netsim_* families the
@@ -42,7 +43,7 @@ const (
 // the cost model applied to each phase's traffic, plus whatever backoff the
 // reliability layer charges to the clock directly.
 type runObs struct {
-	net  *netsim.Network
+	wire tnet.Transport
 	reg  *obs.Registry // run-local
 	prev *obs.Registry // network observer before the run
 	user *obs.Registry // engine observer (nil, or possibly == prev)
@@ -56,15 +57,15 @@ type runObs struct {
 	done   bool
 }
 
-func newRunObs(net *netsim.Network, user *obs.Registry, proto string) *runObs {
+func newRunObs(w tnet.Transport, user *obs.Registry, proto string) *runObs {
 	ro := &runObs{
-		net:  net,
+		wire: w,
 		reg:  obs.NewRegistry(),
-		prev: net.Observer(),
+		prev: w.Observer(),
 		user: user,
 		cost: netsim.DefaultCostModel(),
 	}
-	net.SetObserver(ro.reg)
+	w.SetObserver(ro.reg)
 	ro.root = ro.reg.Tracer().Start("gquery/"+proto, nil)
 	ro.cur = ro.reg.Tracer().Start(PhaseCollect, ro.root)
 	ro.phases = map[string]*obs.Span{PhaseCollect: ro.cur}
@@ -195,7 +196,7 @@ func (ro *runObs) detach() {
 	ro.done = true
 	ro.tick()
 	ro.closeSpans()
-	ro.net.SetObserver(ro.prev)
+	ro.wire.SetObserver(ro.prev)
 	if ro.prev != nil {
 		ro.prev.Merge(ro.reg)
 	}

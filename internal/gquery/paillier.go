@@ -9,6 +9,7 @@ import (
 	"pds/internal/netsim"
 	"pds/internal/privcrypto"
 	"pds/internal/ssi"
+	tnet "pds/internal/transport"
 )
 
 // RunPaillierAgg is the homomorphic variant of the protocol family: the
@@ -29,13 +30,6 @@ import (
 // Detection: every upload carries a MACed tuple id; the SSI must return
 // the id list with each group so the final token can verify the checksum.
 //
-// Deprecated: use New().PaillierAgg.
-func RunPaillierAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
-	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey) (Result, RunStats, error) {
-	return RunPaillierAggCfg(net, srv, parts, kr, pk, sk, Serial())
-}
-
-// RunPaillierAggCfg is RunPaillierAgg with an explicit execution config.
 // The token side is a single final decryption call, so Workers has nothing
 // to fan out; the config contributes the fault plane, the reliable links
 // and the observer. Paillier ciphertexts ride the wire at the key's fixed
@@ -43,9 +37,7 @@ func RunPaillierAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Key
 //
 // RunConfig.Topology does not apply here: the SSI folds ciphertexts
 // itself, so there is no token fold plane to arrange into a tree.
-//
-// Deprecated: use New(WithConfig(cfg)).PaillierAgg.
-func RunPaillierAggCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring,
+func runPaillierAgg(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring,
 	pk *privcrypto.PaillierPublicKey, sk *privcrypto.PaillierPrivateKey, cfg RunConfig) (Result, RunStats, error) {
 
 	var stats RunStats
@@ -55,7 +47,7 @@ func RunPaillierAggCfg(net *netsim.Network, srv Infra, parts []Participant, kr *
 	if pk == nil || sk == nil {
 		return nil, stats, fmt.Errorf("gquery: paillier protocol needs a key pair")
 	}
-	tp := newTransport(net, cfg, "paillier")
+	tp := newTransport(w, cfg, "paillier")
 	defer tp.close()
 
 	// Collection: payload = u16 gctLen | gct | u16 idBlobLen | idBlob | vct

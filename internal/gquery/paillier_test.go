@@ -27,7 +27,7 @@ func TestPaillierAggCorrectSumsAndCounts(t *testing.T) {
 	truth := PlainResult(parts)
 	sk := testPaillierKey(t)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	res, stats, err := RunPaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
+	res, stats, err := New().PaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestPaillierAggSSIComputesWithoutTokens(t *testing.T) {
 	parts := makeParts(30, 3, testDomain, 31)
 	sk := testPaillierKey(t)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	res, _, err := RunPaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
+	res, _, err := New().PaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestPaillierAggLeaksFrequenciesOnly(t *testing.T) {
 	truth := PlainResult(parts)
 	sk := testPaillierKey(t)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	if _, _, err := RunPaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk); err != nil {
+	if _, _, err := New().PaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk); err != nil {
 		t.Fatal(err)
 	}
 	o := srv.Observations()
@@ -110,7 +110,7 @@ func TestPaillierAggDetectsDrop(t *testing.T) {
 	parts := makeParts(10, 4, testDomain, 33)
 	sk := testPaillierKey(t)
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.2, Seed: 34})
-	_, stats, err := RunPaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
+	_, stats, err := New().PaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
 	if !errors.Is(err, ErrDetected) || !stats.Detected {
 		t.Errorf("dropping SSI not detected: %v", err)
 	}
@@ -120,7 +120,7 @@ func TestPaillierAggDetectsForgery(t *testing.T) {
 	parts := makeParts(10, 4, testDomain, 35)
 	sk := testPaillierKey(t)
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{ForgeRate: 0.3, Seed: 36})
-	_, stats, err := RunPaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
+	_, stats, err := New().PaillierAgg(net, srv, parts, mustKeyring(t), sk.Public(), sk)
 	if !errors.Is(err, ErrDetected) {
 		t.Errorf("forging SSI not detected: %v (stats %+v)", err, stats)
 	}
@@ -130,14 +130,14 @@ func TestPaillierAggValidation(t *testing.T) {
 	sk := testPaillierKey(t)
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
 	kr := mustKeyring(t)
-	if _, _, err := RunPaillierAgg(net, srv, nil, kr, sk.Public(), sk); !errors.Is(err, ErrNoParticipants) {
+	if _, _, err := New().PaillierAgg(net, srv, nil, kr, sk.Public(), sk); !errors.Is(err, ErrNoParticipants) {
 		t.Errorf("no participants err = %v", err)
 	}
-	if _, _, err := RunPaillierAgg(net, srv, makeParts(2, 2, testDomain, 37), kr, nil, nil); err == nil {
+	if _, _, err := New().PaillierAgg(net, srv, makeParts(2, 2, testDomain, 37), kr, nil, nil); err == nil {
 		t.Error("missing keys accepted")
 	}
 	neg := []Participant{{ID: "p", Tuples: []Tuple{{Group: "g", Value: -1}}}}
-	if _, _, err := RunPaillierAgg(net, srv, neg, kr, sk.Public(), sk); err == nil {
+	if _, _, err := New().PaillierAgg(net, srv, neg, kr, sk.Public(), sk); err == nil {
 		t.Error("negative value accepted")
 	}
 }

@@ -26,9 +26,9 @@ func runBoth(t *testing.T, mode ssi.Mode, b ssi.Behavior, parts []Participant, c
 	t.Helper()
 	kr := mustKeyring(t)
 	net1, srv1 := freshRun(t, mode, b)
-	serRes, serStats, serErr = RunSecureAggCfg(net1, srv1, parts, kr, chunkSize, Serial())
+	serRes, serStats, serErr = runSecureAgg(net1, srv1, parts, kr, chunkSize, Serial())
 	net2, srv2 := freshRun(t, mode, b)
-	parRes, parStats, parErr = RunSecureAggCfg(net2, srv2, parts, kr, chunkSize, RunConfig{Workers: 8})
+	parRes, parStats, parErr = runSecureAgg(net2, srv2, parts, kr, chunkSize, RunConfig{Workers: 8})
 	return
 }
 
@@ -90,12 +90,12 @@ func TestNoiseParallelMatchesSerial(t *testing.T) {
 	kr := mustKeyring(t)
 	for _, kind := range []NoiseKind{NoNoise, WhiteNoise, ControlledNoise} {
 		net1, srv1 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-		serRes, serStats, err := RunNoiseCfg(net1, srv1, parts, kr, testDomain, 1, kind, 19, Serial())
+		serRes, serStats, err := runNoise(net1, srv1, parts, kr, testDomain, 1, kind, 19, Serial())
 		if err != nil {
 			t.Fatal(err)
 		}
 		net2, srv2 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-		parRes, parStats, err := RunNoiseCfg(net2, srv2, parts, kr, testDomain, 1, kind, 19, RunConfig{Workers: 8})
+		parRes, parStats, err := runNoise(net2, srv2, parts, kr, testDomain, 1, kind, 19, RunConfig{Workers: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,12 +116,12 @@ func TestHistogramParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	net1, srv1 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	serRes, serStats, err := RunHistogramCfg(net1, srv1, parts, kr, buckets, Serial())
+	serRes, serStats, err := runHistogram(net1, srv1, parts, kr, buckets, Serial())
 	if err != nil {
 		t.Fatal(err)
 	}
 	net2, srv2 := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	parRes, parStats, err := RunHistogramCfg(net2, srv2, parts, kr, buckets, RunConfig{Workers: 8})
+	parRes, parStats, err := runHistogram(net2, srv2, parts, kr, buckets, RunConfig{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestHistogramParallelDetectsDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	net, srv := freshRun(t, ssi.WeaklyMalicious, ssi.Behavior{DropRate: 0.3, Seed: 22})
-	_, stats, err := RunHistogramCfg(net, srv, parts, kr, buckets, RunConfig{Workers: 8})
+	_, stats, err := runHistogram(net, srv, parts, kr, buckets, RunConfig{Workers: 8})
 	if !errors.Is(err, ErrDetected) || !stats.Detected {
 		t.Errorf("parallel histogram missed drop: err=%v stats=%+v", err, stats)
 	}

@@ -9,13 +9,23 @@ import (
 
 	"pds/internal/netsim"
 	"pds/internal/ssi"
+	tnet "pds/internal/transport"
 )
 
 // The property battery: every Part III protocol, serial and parallel,
 // under clean and faulty wires and under a weakly-malicious SSI, must
 // either complete with a result identical to the fault-free serial
 // baseline or abort with a typed detection/retry error — never return a
-// silently wrong answer.
+// silently wrong answer. The battery is parameterized over the wire
+// substrate (mkWire): the Test* functions here run it on the in-process
+// simulator, tcpwire_test.go replays the identical matrix over the TCP
+// transport.
+
+// mkWire builds (or returns a shared) transport substrate for one run.
+type mkWire func(t testing.TB) tnet.Transport
+
+// simWire is the in-process simulator axis: a fresh network per run.
+func simWire(testing.TB) tnet.Transport { return netsim.New() }
 
 // fpResult canonicalizes a Result for cross-run comparison.
 func fpResult(res Result) string {
@@ -52,37 +62,41 @@ type protoRunner struct {
 	run  func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error)
 }
 
-func batteryRunners(t *testing.T) []protoRunner {
+func batteryRunners(t *testing.T, mk mkWire) []protoRunner {
 	t.Helper()
 	kr := mustKeyring(t)
 	buckets, err := EquiDepthBuckets(testDomain, nil, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
+	wires := func(t *testing.T, mode ssi.Mode, b ssi.Behavior) (tnet.Transport, *ssi.Server) {
+		w := mk(t)
+		return w, ssi.New(w, mode, b)
+	}
 	return []protoRunner{
 		{"secure-agg", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
-			net, srv := freshRun(t, mode, b)
-			res, stats, err := RunSecureAggCfg(net, srv, parts, kr, 7, cfg)
+			w, srv := wires(t, mode, b)
+			res, stats, err := runSecureAgg(w, srv, parts, kr, 7, cfg)
 			return fpResult(res), stats, err
 		}},
 		{"noise-none", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
-			net, srv := freshRun(t, mode, b)
-			res, stats, err := RunNoiseCfg(net, srv, parts, kr, testDomain, 0, NoNoise, 91, cfg)
+			w, srv := wires(t, mode, b)
+			res, stats, err := runNoise(w, srv, parts, kr, testDomain, 0, NoNoise, 91, cfg)
 			return fpResult(res), stats, err
 		}},
 		{"noise-white", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
-			net, srv := freshRun(t, mode, b)
-			res, stats, err := RunNoiseCfg(net, srv, parts, kr, testDomain, 1, WhiteNoise, 92, cfg)
+			w, srv := wires(t, mode, b)
+			res, stats, err := runNoise(w, srv, parts, kr, testDomain, 1, WhiteNoise, 92, cfg)
 			return fpResult(res), stats, err
 		}},
 		{"noise-ctrl", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
-			net, srv := freshRun(t, mode, b)
-			res, stats, err := RunNoiseCfg(net, srv, parts, kr, testDomain, 1, ControlledNoise, 93, cfg)
+			w, srv := wires(t, mode, b)
+			res, stats, err := runNoise(w, srv, parts, kr, testDomain, 1, ControlledNoise, 93, cfg)
 			return fpResult(res), stats, err
 		}},
 		{"histogram", func(t *testing.T, parts []Participant, mode ssi.Mode, b ssi.Behavior, cfg RunConfig) (string, RunStats, error) {
-			net, srv := freshRun(t, mode, b)
-			res, stats, err := RunHistogramCfg(net, srv, parts, kr, buckets, cfg)
+			w, srv := wires(t, mode, b)
+			res, stats, err := runHistogram(w, srv, parts, kr, buckets, cfg)
 			return fpBuckets(res), stats, err
 		}},
 	}
@@ -117,7 +131,11 @@ func batteryPlans() []struct {
 // duplicates and flushes delays without ever changing the answer. The
 // true-data protocols must additionally match the plaintext reference.
 func TestPropertyFaultToleranceExact(t *testing.T) {
-	runners := batteryRunners(t)
+	propertyFaultToleranceExact(t, simWire)
+}
+
+func propertyFaultToleranceExact(t *testing.T, mk mkWire) {
+	runners := batteryRunners(t, mk)
 	for _, wl := range []int64{31, 32} {
 		parts := makeParts(12, 5, testDomain, wl)
 		plainFP := fpResult(PlainResult(parts))
@@ -164,7 +182,11 @@ func TestPropertyFaultToleranceExact(t *testing.T) {
 // baseline result or aborts with an error matching ErrDetected — the
 // covert adversary is never undetected AND effective.
 func TestPropertyMaliciousNeverWrong(t *testing.T) {
-	runners := batteryRunners(t)
+	propertyMaliciousNeverWrong(t, simWire)
+}
+
+func propertyMaliciousNeverWrong(t *testing.T, mk mkWire) {
+	runners := batteryRunners(t, mk)
 	behaviors := []struct {
 		name string
 		b    ssi.Behavior
@@ -221,8 +243,12 @@ func TestPropertyMaliciousNeverWrong(t *testing.T) {
 // TestPropertyForgeryYieldsMACDetection: a forging SSI is always caught by
 // the MAC layer, and the abort carries the typed evidence.
 func TestPropertyForgeryYieldsMACDetection(t *testing.T) {
+	propertyForgeryYieldsMACDetection(t, simWire)
+}
+
+func propertyForgeryYieldsMACDetection(t *testing.T, mk mkWire) {
 	parts := makeParts(10, 4, testDomain, 51)
-	for _, r := range batteryRunners(t) {
+	for _, r := range batteryRunners(t, mk) {
 		for _, fp := range []*netsim.FaultPlan{nil, {Seed: 106, Default: netsim.FaultSpec{Drop: 0.1}}} {
 			cfg := RunConfig{Workers: 4, Faults: fp, MaxRetries: 25}
 			_, stats, err := r.run(t, parts, ssi.WeaklyMalicious, ssi.Behavior{ForgeRate: 1, Seed: 205}, cfg)
@@ -243,11 +269,16 @@ func TestPropertyForgeryYieldsMACDetection(t *testing.T) {
 // TestPropertyRetryCostSurfaced: degraded-mode runs report their
 // retransmission cost in RunStats.
 func TestPropertyRetryCostSurfaced(t *testing.T) {
+	propertyRetryCostSurfaced(t, simWire)
+}
+
+func propertyRetryCostSurfaced(t *testing.T, mk mkWire) {
 	parts := makeParts(12, 5, testDomain, 61)
 	kr := mustKeyring(t)
-	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+	w := mk(t)
+	srv := ssi.New(w, ssi.HonestButCurious, ssi.Behavior{})
 	plan := &netsim.FaultPlan{Seed: 107, Default: netsim.FaultSpec{Drop: 0.2}}
-	_, stats, err := RunSecureAggCfg(net, srv, parts, kr, 7, RunConfig{Workers: 1, Faults: plan, MaxRetries: 25})
+	_, stats, err := runSecureAgg(w, srv, parts, kr, 7, RunConfig{Workers: 1, Faults: plan, MaxRetries: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,30 +292,36 @@ func TestPropertyRetryCostSurfaced(t *testing.T) {
 // is restored on every exit path, so later traffic on the same Network
 // does not inherit a stale fault schedule.
 func TestPropertyRunRestoresFaultPlane(t *testing.T) {
+	propertyRunRestoresFaultPlane(t, simWire)
+}
+
+func propertyRunRestoresFaultPlane(t *testing.T, mk mkWire) {
 	parts := makeParts(8, 3, testDomain, 71)
 	kr := mustKeyring(t)
 	plan := &netsim.FaultPlan{Seed: 108, Default: netsim.FaultSpec{Drop: 0.2, Duplicate: 0.1}}
 
-	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
-	if _, _, err := RunSecureAggCfg(net, srv, parts, kr, 7, RunConfig{Workers: 2, Faults: plan, MaxRetries: 25}); err != nil {
+	w := mk(t)
+	srv := ssi.New(w, ssi.HonestButCurious, ssi.Behavior{})
+	if _, _, err := runSecureAgg(w, srv, parts, kr, 7, RunConfig{Workers: 2, Faults: plan, MaxRetries: 25}); err != nil {
 		t.Fatal(err)
 	}
-	if net.Faults() != nil {
+	if w.Faults() != nil {
 		t.Error("secure-agg run left its fault plane armed")
 	}
 
 	// The error path must restore the plane too.
-	net, srv = freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
+	w = mk(t)
+	srv = ssi.New(w, ssi.HonestButCurious, ssi.Behavior{})
 	dead := &netsim.FaultPlan{Seed: 109, Default: netsim.FaultSpec{Drop: 1}}
-	if _, _, err := RunSecureAggCfg(net, srv, parts, kr, 7, RunConfig{Workers: 1, Faults: dead, MaxRetries: 2}); err == nil {
+	if _, _, err := runSecureAgg(w, srv, parts, kr, 7, RunConfig{Workers: 1, Faults: dead, MaxRetries: 2}); err == nil {
 		t.Fatal("drop=1 run unexpectedly succeeded")
 	}
-	if net.Faults() != nil {
+	if w.Faults() != nil {
 		t.Error("failed run left its fault plane armed")
 	}
 
 	delivered := 0
-	net.Deliver(netsim.Envelope{Kind: "k", Payload: []byte("x")}, func(netsim.Envelope) { delivered++ })
+	w.Deliver(netsim.Envelope{Kind: "k", Payload: []byte("x")}, func(netsim.Envelope) { delivered++ })
 	if delivered != 1 {
 		t.Errorf("post-run delivery saw %d copies, want 1 (clean wire)", delivered)
 	}
@@ -296,17 +333,21 @@ func TestPropertyRunRestoresFaultPlane(t *testing.T) {
 // partial result. Exercised across topologies and both batch protocols
 // that accept arbitrary Infra routing.
 func TestPropertyShardFailureDetected(t *testing.T) {
+	propertyShardFailureDetected(t, simWire)
+}
+
+func propertyShardFailureDetected(t *testing.T, mk mkWire) {
 	parts := makeParts(24, 3, testDomain, 81)
 	kr := mustKeyring(t)
 	want := PlainResult(parts)
 	for _, topo := range batteryTopologies() {
 		// Healthy shard fleet: exact result.
-		net := netsim.New()
-		ss, err := ssi.NewShardSet(net, 3, ssi.HonestButCurious, ssi.Behavior{})
+		w := mk(t)
+		ss, err := ssi.NewShardSet(w, 3, ssi.HonestButCurious, ssi.Behavior{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, _, err := RunSecureAggCfg(net, ss, parts, kr, 5, RunConfig{Workers: 2, Topology: topo})
+		res, _, err := runSecureAgg(w, ss, parts, kr, 5, RunConfig{Workers: 2, Topology: topo})
 		if err != nil {
 			t.Fatalf("%v healthy shards: %v", topo, err)
 		}
@@ -315,15 +356,15 @@ func TestPropertyShardFailureDetected(t *testing.T) {
 		}
 
 		// One shard crashes mid-collection: detection, not a wrong answer.
-		net = netsim.New()
-		ss, err = ssi.NewShardSet(net, 3, ssi.HonestButCurious, ssi.Behavior{})
+		w = mk(t)
+		ss, err = ssi.NewShardSet(w, 3, ssi.HonestButCurious, ssi.Behavior{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		half := parts[:len(parts)/2]
 		rest := parts[len(parts)/2:]
 		crashed := &crashMidCollect{ShardSet: ss, after: len(half)}
-		_, _, err = RunSecureAggCfg(net, crashed, append(append([]Participant(nil), half...), rest...), kr, 5,
+		_, _, err = runSecureAgg(w, crashed, append(append([]Participant(nil), half...), rest...), kr, 5,
 			RunConfig{Workers: 2, Topology: topo})
 		var de *DetectionError
 		if !errors.As(err, &de) {

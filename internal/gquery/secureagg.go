@@ -5,9 +5,10 @@ import (
 
 	"pds/internal/netsim"
 	"pds/internal/ssi"
+	tnet "pds/internal/transport"
 )
 
-// RunSecureAgg executes a GROUP BY aggregate with the secure-aggregation
+// runSecureAgg executes a GROUP BY aggregate with the secure-aggregation
 // protocol (non-deterministic encryption):
 //
 //	collection : every PDS uploads Enc_nd(id|group|value) + MAC;
@@ -18,22 +19,11 @@ import (
 //	             checksum, detecting drops, duplicates and forgeries.
 //
 // The SSI observes only ciphertexts: every payload is distinct, so no
-// grouping information leaks. This entry point runs the paper-faithful
-// serial schedule (one worker token at a time); RunSecureAggCfg fans the
-// aggregation phase out over a token fleet.
-//
-// Deprecated: use New().SecureAgg.
-func RunSecureAgg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring, chunkSize int) (Result, RunStats, error) {
-	return RunSecureAggCfg(net, srv, parts, kr, chunkSize, Serial())
-}
-
-// RunSecureAggCfg is RunSecureAgg with an explicit execution config. The
-// aggregation phase runs over cfg.Workers concurrent tokens; partials are
-// merged in chunk order, so Result and RunStats are identical to the
-// serial run on the same inputs.
-//
-// Deprecated: use New(WithConfig(cfg)).SecureAgg.
-func RunSecureAggCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Keyring, chunkSize int, cfg RunConfig) (Result, RunStats, error) {
+// grouping information leaks. The aggregation phase runs over cfg.Workers
+// concurrent tokens; partials are merged in chunk order, so Result and
+// RunStats are identical to the serial run on the same inputs — and, the
+// wire being pluggable, identical across substrates for the same seed.
+func runSecureAgg(w tnet.Transport, srv Infra, parts []Participant, kr *Keyring, chunkSize int, cfg RunConfig) (Result, RunStats, error) {
 	var stats RunStats
 	if len(parts) == 0 {
 		return nil, stats, ErrNoParticipants
@@ -41,7 +31,7 @@ func RunSecureAggCfg(net *netsim.Network, srv Infra, parts []Participant, kr *Ke
 	if chunkSize < 1 {
 		return nil, stats, ErrBadChunkSize
 	}
-	tp := newTransport(net, cfg, "secure-agg")
+	tp := newTransport(w, cfg, "secure-agg")
 	defer tp.close()
 
 	// Collection phase.

@@ -8,6 +8,7 @@ import (
 
 	"pds/internal/netsim"
 	"pds/internal/ssi"
+	tnet "pds/internal/transport"
 )
 
 // ParticipantSource yields participants one at a time — the streaming
@@ -53,9 +54,9 @@ func (s *sliceSource) Next() (Participant, bool) {
 // phase-barrier semantics (delayed envelopes surfacing at barriers)
 // need the phases to be sequential. A config with Faults set is
 // rejected.
-func (e *Engine) SecureAggStream(net *netsim.Network, srv StreamInfra, src ParticipantSource,
+func (e *Engine) SecureAggStream(w tnet.Transport, srv StreamInfra, src ParticipantSource,
 	kr *Keyring, chunkSize int) (Result, RunStats, error) {
-	return runSecureAggStream(net, srv, src, kr, chunkSize, e.cfg)
+	return runSecureAggStream(w, srv, src, kr, chunkSize, e.cfg)
 }
 
 // streamLeaf is one chunk travelling through the fold plane: envs on
@@ -66,7 +67,7 @@ type streamLeaf struct {
 	out  chunkOutcome
 }
 
-func runSecureAggStream(net *netsim.Network, srv StreamInfra, src ParticipantSource,
+func runSecureAggStream(w tnet.Transport, srv StreamInfra, src ParticipantSource,
 	kr *Keyring, chunkSize int, cfg RunConfig) (Result, RunStats, error) {
 
 	var stats RunStats
@@ -79,7 +80,7 @@ func runSecureAggStream(net *netsim.Network, srv StreamInfra, src ParticipantSou
 	if cfg.Faults != nil {
 		return nil, stats, fmt.Errorf("gquery: streaming fold plane requires a clean wire (Faults must be nil)")
 	}
-	tp := newTransport(net, cfg, "secure-agg-stream")
+	tp := newTransport(w, cfg, "secure-agg-stream")
 	// The tree transport's per-PDS collect map is O(population); the
 	// streaming collector tracks the collection makespan incrementally
 	// instead, one participant at a time.

@@ -48,7 +48,7 @@ func tracedSecureAgg(t *testing.T, cfg RunConfig) (*obs.Registry, RunStats) {
 	net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
 	reg := obs.NewRegistry()
 	cfg.observer = reg
-	_, stats, err := RunSecureAggCfg(net, srv, parts, kr, 8, cfg)
+	_, stats, err := runSecureAgg(net, srv, parts, kr, 8, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestWorkers4TraceExportsIdentically(t *testing.T) {
 		net, srv := freshRun(t, ssi.HonestButCurious, ssi.Behavior{})
 		reg := obs.NewRegistry()
 		cfg := RunConfig{Workers: 4, observer: reg}
-		if _, _, err := RunSecureAggCfg(net, srv, parts, kr, 6, cfg); err != nil {
+		if _, _, err := runSecureAgg(net, srv, parts, kr, 6, cfg); err != nil {
 			t.Fatal(err)
 		}
 		js, err := reg.Snapshot().JSON()
@@ -198,7 +198,7 @@ func TestFaultyTraceAttributesRetransmitsToTransfers(t *testing.T) {
 	cfg.observer = reg
 	cfg.Faults = &netsim.FaultPlan{Seed: 305,
 		Default: netsim.FaultSpec{Drop: 0.15, Duplicate: 0.1, Delay: 0.05, Reorder: 0.05}}
-	_, stats, err := RunSecureAggCfg(net, srv, parts, kr, 8, cfg)
+	_, stats, err := runSecureAgg(net, srv, parts, kr, 8, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,19 +6,21 @@ import (
 	"time"
 
 	"pds/internal/netsim"
+	tnet "pds/internal/transport"
 )
 
-// transport routes protocol envelopes over the simulated wire. With no
-// fault plan it is the historical direct path — net.Send for cost
+// transport routes protocol envelopes over the pluggable wire (the
+// in-process simulator or the TCP substrate — the engine cannot tell).
+// With no fault plan it is the historical direct path — wire.Send for cost
 // accounting, synchronous delivery — so clean runs stay byte-identical to
-// the pre-reliability engine. With a plan it arms the network's fault
+// the pre-reliability engine. With a plan it arms the wire's fault
 // plane and moves every leg through per-kind reliable ARQ links, whose
 // cost is folded into RunStats at the end of the run.
 type transport struct {
-	net  *netsim.Network
+	wire tnet.Transport
 	rel  netsim.Reliability
 	on   bool
-	prev *netsim.FaultPlane // the network's plane before this run armed its own
+	prev *netsim.FaultPlane // the wire's plane before this run armed its own
 	ro   *runObs
 
 	mu    sync.Mutex
@@ -35,16 +37,16 @@ type transport struct {
 // newTransport opens one run's wire epoch: the run-local observer registry
 // is installed first so the fault plane armed below binds to it and every
 // injected fault of this run is attributed to this run.
-func newTransport(net *netsim.Network, cfg RunConfig, proto string) *transport {
-	tp := &transport{net: net, links: map[string]*netsim.Link{}, ro: newRunObs(net, cfg.observer, proto)}
+func newTransport(w tnet.Transport, cfg RunConfig, proto string) *transport {
+	tp := &transport{wire: w, links: map[string]*netsim.Link{}, ro: newRunObs(w, cfg.observer, proto)}
 	if cfg.Topology.IsTree() {
 		tp.collect = map[string]netsim.Stats{}
 	}
 	if cfg.Faults != nil {
 		tp.on = true
 		tp.rel = netsim.Reliability{MaxRetries: cfg.MaxRetries, Backoff: cfg.Backoff}
-		tp.prev = net.Faults()
-		net.SetFaults(netsim.NewFaultPlane(*cfg.Faults))
+		tp.prev = w.Faults()
+		w.SetFaults(netsim.NewFaultPlane(*cfg.Faults))
 	}
 	return tp
 }
@@ -56,7 +58,7 @@ func newTransport(net *netsim.Network, cfg RunConfig, proto string) *transport {
 // metrics are rolled up into the pre-run and engine registries.
 func (tp *transport) close() {
 	if tp.on {
-		tp.net.SetFaults(tp.prev)
+		tp.wire.SetFaults(tp.prev)
 	}
 	tp.ro.detach()
 }
@@ -107,7 +109,7 @@ func (tp *transport) link(kind string) *netsim.Link {
 	defer tp.mu.Unlock()
 	l, ok := tp.links[kind]
 	if !ok {
-		l = netsim.NewLink(tp.net, tp.rel)
+		l = netsim.NewLink(tp.wire, tp.rel)
 		tp.links[kind] = l
 	}
 	return l
@@ -128,7 +130,7 @@ func (tp *transport) send(e netsim.Envelope, rcv func(netsim.Envelope)) error {
 		tp.collect[e.From] = s
 	}
 	if !tp.on {
-		out := tp.net.Send(e)
+		out := tp.wire.Send(e)
 		if rcv != nil {
 			rcv(out)
 		}
@@ -145,7 +147,7 @@ func (tp *transport) barrier(rcv func(netsim.Envelope)) {
 	if !tp.on {
 		return
 	}
-	tp.net.FlushFaults(func(e netsim.Envelope) {
+	tp.wire.FlushFaults(func(e netsim.Envelope) {
 		if strings.HasSuffix(e.Kind, "/ack") {
 			return
 		}

@@ -1,118 +1,16 @@
 package kv
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
-	"fmt"
 	"testing"
 
-	"pds/internal/crashharness"
 	"pds/internal/flash"
 	"pds/internal/logstore"
 )
 
-// The kv crash battery (DESIGN §11): a put/overwrite/delete workload with
-// periodic compaction, swept across every write, torn-write and erase
-// crash point. After each crash the reopened store must equal a committed
-// prefix — Get must agree with the baseline at some sync boundary in the
-// admissible window.
-
-const crashKeyUniverse = 17
-
-type crashKV struct {
-	s     *Store
-	syncs int
-}
-
-func (w *crashKV) key(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
-
-func (w *crashKV) Apply(op int) error {
-	key := w.key(op % crashKeyUniverse)
-	if op%7 == 3 {
-		return w.s.Delete(key)
-	}
-	return w.s.Put(key, []byte(fmt.Sprintf("val-%05d-%032d", op, op*op)))
-}
-
-func (w *crashKV) Sync() error {
-	w.syncs++
-	// Every third boundary reorganizes first, so the battery also sweeps
-	// crash points inside Compact's rebuild and atomic switch.
-	if w.syncs%3 == 0 {
-		if err := w.s.Compact(2, 4); err != nil {
-			return err
-		}
-	}
-	return w.s.Sync()
-}
-
-func (w *crashKV) Fingerprint() (string, error) {
-	h := sha256.New()
-	for i := 0; i < crashKeyUniverse; i++ {
-		v, _, err := w.s.Get(w.key(i))
-		switch {
-		case errors.Is(err, ErrNotFound):
-			fmt.Fprintf(h, "%03d=absent\n", i)
-		case err != nil:
-			return "", err
-		default:
-			fmt.Fprintf(h, "%03d=%s\n", i, v)
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-func crashWorkload() crashharness.Workload {
-	return crashharness.Workload{
-		Name:      "kv",
-		Ops:       56,
-		SyncEvery: 8,
-		Open: func(alloc *flash.Allocator) (crashharness.Store, error) {
-			s, err := OpenDurable(alloc)
-			if err != nil {
-				return nil, err
-			}
-			return &crashKV{s: s}, nil
-		},
-		Reopen: func(rec *logstore.Recovered) (crashharness.Store, error) {
-			s, err := Reopen(rec)
-			if err != nil {
-				return nil, err
-			}
-			return &crashKV{s: s}, nil
-		},
-	}
-}
-
-func TestKVCrashBattery(t *testing.T) {
-	w := crashWorkload()
-	base, err := crashharness.Baseline(w)
-	if err != nil {
-		t.Fatalf("baseline: %v", err)
-	}
-	if len(base) != 56/8+1 {
-		t.Fatalf("baseline boundaries = %d, want %d", len(base), 56/8+1)
-	}
-	stride := 1
-	if testing.Short() {
-		stride = 7
-	}
-	for _, op := range []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite, flash.CrashErase} {
-		op := op
-		t.Run(op.String(), func(t *testing.T) {
-			st, err := crashharness.Sweep(w, op, 0xC0FFEE, stride, base)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if st.Crashes == 0 {
-				t.Fatalf("%v sweep never fired a crash (%d runs)", op, st.Runs)
-			}
-			t.Logf("%v: %d crash points, max recovery = %+v, max recovery I/O reads = %d",
-				op, st.Crashes, st.MaxRecovery, st.MaxIO.PageReads)
-		})
-	}
-}
+// The kv crash battery now runs generically from internal/durable (the
+// "kv" Kind); this file keeps the engine-specific directed test pinning
+// the Sync durability point.
 
 // TestKVSyncDurabilityPoint pins the contract directly: puts before a
 // Sync survive one specific crash right after it; puts after it may

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"pds/internal/obs"
 )
 
 // FaultSpec gives the per-envelope fault probabilities for one envelope
@@ -22,7 +24,7 @@ type FaultSpec struct {
 	Drop      float64 // the envelope vanishes on the wire
 	Duplicate float64 // the envelope arrives twice, back to back
 	Delay     float64 // the envelope is withheld until the next Flush (phase barrier)
-	Reorder   float64 // the envelope swaps places with the next one of its kind
+	Reorder   float64 // the envelope swaps places with the next one of its flow (kind + destination)
 }
 
 // Total returns the combined fault probability.
@@ -104,6 +106,15 @@ func NewFaultPlane(plan FaultPlan) *FaultPlane {
 // Plan returns the schedule the plane applies.
 func (fp *FaultPlane) Plan() FaultPlan { return fp.plan }
 
+// BindObserver mirrors the plane's fault decisions into reg (nil
+// detaches). Network.SetFaults/SetObserver bind the in-process network's
+// observer automatically; out-of-process transports that arm a plane
+// client-side call this to keep fault accounting identical across
+// substrates.
+func (fp *FaultPlane) BindObserver(reg *obs.Registry) {
+	fp.obsv.Store(newNetObserver(reg))
+}
+
 // Stats returns a snapshot of the injected-fault counters.
 func (fp *FaultPlane) Stats() FaultStats {
 	fp.mu.Lock()
@@ -132,9 +143,24 @@ func (fp *FaultPlane) decide(e Envelope) int {
 	}
 }
 
+// Transmit applies the plan to one envelope and returns the copies that
+// arrive now — zero for a dropped or withheld envelope, two for a
+// duplicated one, possibly including an earlier reorder-withheld envelope
+// of the same kind. Network.Deliver calls it for the in-process wire;
+// out-of-process transports call it before frames leave the sending node,
+// so the seeded schedule stays a pure function of envelope content on
+// every substrate.
+func (fp *FaultPlane) Transmit(e Envelope) []Envelope {
+	return fp.transmit(e)
+}
+
 // transmit applies the plan to one envelope and returns the copies that
-// arrive now. A pending reordered envelope of the same kind is released
-// after the current one — the two swap places on the wire.
+// arrive now. A pending reordered envelope of the same flow — same kind,
+// same destination — is released after the current one: the two swap
+// places on the wire. The flow keying matters: a sharded deployment runs
+// one ARQ link per (kind, destination), and releasing a withheld frame
+// into a different flow's receiver would collide sequence spaces and
+// spuriously ack a frame that was never delivered.
 func (fp *FaultPlane) transmit(e Envelope) []Envelope {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
@@ -159,13 +185,14 @@ func (fp *FaultPlane) transmit(e Envelope) []Envelope {
 	default:
 		out = append(out, e)
 	}
-	if prev, ok := fp.swap[e.Kind]; ok {
+	flow := e.Kind + "\x00" + e.To
+	if prev, ok := fp.swap[flow]; ok {
 		out = append(out, *prev)
-		delete(fp.swap, e.Kind)
+		delete(fp.swap, flow)
 	}
 	if reordered {
 		cp := e
-		fp.swap[e.Kind] = &cp
+		fp.swap[flow] = &cp
 	}
 	return out
 }

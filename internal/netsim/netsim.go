@@ -36,6 +36,30 @@ type Stats struct {
 	Bytes    int64
 }
 
+// Wire is the minimal substrate the reliability layer rides on: a way to
+// move one envelope (through whatever fault plane the substrate arms) and
+// a metrics registry to mirror ARQ events into. *Network is the in-process
+// implementation; the transport package defines the full pluggable surface
+// and a TCP implementation, both of which satisfy Wire.
+type Wire interface {
+	// Deliver routes one envelope: rcv is invoked synchronously, once per
+	// copy that arrives now (zero times for a dropped or withheld
+	// envelope, twice for a duplicated one).
+	Deliver(e Envelope, rcv func(Envelope))
+	// Observer returns the attached metrics registry, or nil.
+	Observer() *obs.Registry
+}
+
+// Sleeper is the sim-vs-wall clock seam: a Wire implements it when ARQ
+// backoff must burn real time in addition to advancing the simulated
+// clock — a cross-process substrate whose peer needs wall time to come
+// back. The in-process simulator deliberately does not implement it, so
+// seeded runs finish at memory speed while charging identical simulated
+// time.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
 // CostModel converts traffic into simulated elapsed time assuming serial
 // delivery: Messages·Latency + Bytes/Bandwidth.
 type CostModel struct {

@@ -152,14 +152,15 @@ func decodeFrame(data []byte) (frame, bool) {
 	}, true
 }
 
-// Link is one reliable channel over a (possibly faulty) Network. A link
+// Link is one reliable channel over a (possibly faulty) Wire. A link
 // may carry frames between many endpoint pairs — the sequence number is
 // link-global — and is safe for the concurrent transfers of a parallel
 // token fleet. Receiver-side state (the seen-sequence set) lives in the
-// link too: the simulator runs both ends in-process.
+// link too: whichever substrate carries the frames, the ARQ protocol
+// machine runs at the sending node.
 type Link struct {
-	net *Network
-	cfg Reliability
+	wire Wire
+	cfg  Reliability
 
 	mu      sync.Mutex
 	seq     uint64
@@ -167,17 +168,40 @@ type Link struct {
 	acked   map[uint64]bool
 	pending map[uint64]func(Envelope) // deliver callbacks of in-flight transfers, by seq
 	stats   RelStats
+
+	// Observer bridge cache, keyed by the wire's current registry: the
+	// registry is swapped at most once per run epoch, so the fast path is
+	// one pointer compare.
+	omu     sync.Mutex
+	oreg    *obs.Registry
+	ocached *netObserver
 }
 
-// NewLink binds a reliable link to a network.
-func NewLink(net *Network, cfg Reliability) *Link {
+// NewLink binds a reliable link to a wire.
+func NewLink(w Wire, cfg Reliability) *Link {
 	return &Link{
-		net:     net,
+		wire:    w,
 		cfg:     cfg.withDefaults(),
 		seen:    map[uint64]bool{},
 		acked:   map[uint64]bool{},
 		pending: map[uint64]func(Envelope){},
 	}
+}
+
+// obsv resolves the wire's current registry to a cached observer bridge
+// (nil when no registry is attached; netObserver methods tolerate nil).
+func (l *Link) obsv() *netObserver {
+	reg := l.wire.Observer()
+	l.omu.Lock()
+	defer l.omu.Unlock()
+	if l.oreg != reg || (reg != nil && l.ocached == nil) {
+		l.oreg = reg
+		l.ocached = newNetObserver(reg)
+	}
+	if reg == nil {
+		return nil
+	}
+	return l.ocached
 }
 
 // Stats returns a snapshot of the link's reliability counters.
@@ -199,7 +223,7 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 	l.stats.Transfers++
 	l.pending[seq] = deliver
 	l.mu.Unlock()
-	obsv := l.net.obsv.Load()
+	obsv := l.obsv()
 	obsv.rel(MetricRelTransfers, 1)
 	// The transfer span parents under the protocol-level context on the
 	// envelope; its own context rides in the frame bytes, so everything
@@ -220,7 +244,7 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 
 	for attempt := 0; ; attempt++ {
 		wire := EncodeFrame(seq, uint16(attempt), false, wireCtx, e.Payload)
-		l.net.Deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: wire, Ctx: wireCtx}, l.receive)
+		l.wire.Deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: wire, Ctx: wireCtx}, l.receive)
 		l.mu.Lock()
 		acked := l.acked[seq]
 		l.mu.Unlock()
@@ -236,13 +260,16 @@ func (l *Link) Transfer(e Envelope, deliver func(Envelope)) error {
 		l.stats.Retransmits++
 		l.stats.Backoff += wait
 		l.mu.Unlock()
-		if o := l.net.obsv.Load(); o != nil {
+		if o := l.obsv(); o != nil {
 			o.rel(MetricRelRetrans, 1)
 			o.rel(MetricRelBackoffNS, int64(wait))
 			bo := o.startSpan("backoff", wireCtx)
 			o.reg.Clock().Advance(wait)
 			bo.End()
 			o.event("retransmit", wireCtx)
+		}
+		if s, ok := l.wire.(Sleeper); ok {
+			s.Sleep(wait)
 		}
 	}
 }
@@ -262,7 +289,7 @@ func (l *Link) receive(got Envelope) {
 		l.mu.Lock()
 		l.stats.TagFailures++
 		l.mu.Unlock()
-		l.net.obsv.Load().rel(MetricRelTagFail, 1)
+		l.obsv().rel(MetricRelTagFail, 1)
 		return
 	}
 	if fr.ack {
@@ -270,7 +297,7 @@ func (l *Link) receive(got Envelope) {
 		l.stats.Acks++
 		l.acked[fr.seq] = true
 		l.mu.Unlock()
-		o := l.net.obsv.Load()
+		o := l.obsv()
 		o.rel(MetricRelAcks, 1)
 		o.event("ack", fr.ctx)
 		return
@@ -286,10 +313,10 @@ func (l *Link) receive(got Envelope) {
 	if first && deliver != nil {
 		deliver(Envelope{From: got.From, To: got.To, Kind: got.Kind, Payload: fr.payload, Ctx: fr.ctx})
 	} else if !first {
-		l.net.obsv.Load().event("dup-delivery", fr.ctx)
+		l.obsv().event("dup-delivery", fr.ctx)
 	}
 	ackWire := EncodeFrame(fr.seq, fr.attempt, true, fr.ctx, nil)
-	l.net.Deliver(Envelope{From: got.To, To: got.From, Kind: got.Kind + "/ack", Payload: ackWire, Ctx: fr.ctx}, l.receive)
+	l.wire.Deliver(Envelope{From: got.To, To: got.From, Kind: got.Kind + "/ack", Payload: ackWire, Ctx: fr.ctx}, l.receive)
 }
 
 // Accept processes a data frame that surfaced outside a Transfer — a
@@ -303,7 +330,7 @@ func (l *Link) Accept(e Envelope, deliver func(Envelope)) {
 			l.mu.Lock()
 			l.stats.TagFailures++
 			l.mu.Unlock()
-			l.net.obsv.Load().rel(MetricRelTagFail, 1)
+			l.obsv().rel(MetricRelTagFail, 1)
 		}
 		return
 	}
@@ -312,7 +339,7 @@ func (l *Link) Accept(e Envelope, deliver func(Envelope)) {
 			deliver(Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: fr.payload, Ctx: fr.ctx})
 		}
 	} else {
-		l.net.obsv.Load().event("dup-delivery", fr.ctx)
+		l.obsv().event("dup-delivery", fr.ctx)
 	}
 }
 

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pds/internal/netsim"
+	"pds/internal/transport"
+)
+
+// startFleet brings up a switch, one ServeSSI loop per shard (each on its
+// own connection, as in the multi-process deployment), and a querier
+// connection — the whole topology of a pdsd run, minus the process
+// boundaries, which cmd/pdsd's own test adds.
+func startFleet(t *testing.T, p Plan) *transport.TCP {
+	t.Helper()
+	sw, err := transport.NewSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sw.Close() })
+	done := make(chan error, p.Shards)
+	for i := 0; i < p.Shards; i++ {
+		conn, err := transport.Dial(sw.Addr(), fmt.Sprintf("ssinode-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		go func(i int, conn *transport.TCP) {
+			_, err := ServeSSI(conn, i, p, 0)
+			done <- err
+		}(i, conn)
+	}
+	t.Cleanup(func() {
+		for i := 0; i < p.Shards; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("ssi node: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("ssi node did not stop")
+				return
+			}
+		}
+	})
+	q, err := transport.Dial(sw.Addr(), "querier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
+}
+
+// A clean named plan through the remote path: RunQuerier against real
+// ServeSSI nodes over TCP must be exact, collect a snapshot from every
+// shard, and leave the nodes stoppable.
+func TestRemoteCleanPlan(t *testing.T) {
+	p, _ := ByName("clean-64")
+	q := startFleet(t, p)
+	rep, err := RunQuerier(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || !rep.Exact {
+		t.Fatalf("remote run not exact: %+v", rep)
+	}
+	if rep.Mode != "multi-process" {
+		t.Fatalf("mode = %q", rep.Mode)
+	}
+	if len(rep.SSI) != p.Shards {
+		t.Fatalf("collected %d shard snapshots, want %d", len(rep.SSI), p.Shards)
+	}
+	total := 0
+	for _, sr := range rep.SSI {
+		total += sr.Received
+		if len(sr.Obs) == 0 {
+			t.Fatalf("shard %d snapshot missing obs", sr.Shard)
+		}
+	}
+	if want := p.Tokens * p.TuplesEach; total != want {
+		t.Fatalf("shards ingested %d uploads, want %d", total, want)
+	}
+}
+
+// A sharded lossy plan through the remote path: ARQ runs at the querier,
+// the FrameSinks on the nodes collapse retransmissions back to
+// exactly-once, and the aggregate stays exact.
+func TestRemoteShardedLossyPlan(t *testing.T) {
+	p := Plan{
+		Name: "test-lossy", Tokens: 48, TuplesEach: 3, Seed: 9,
+		Shards: 2, ChunkSize: 8, Workers: 2,
+		Faults: &netsim.FaultPlan{
+			Seed:    13,
+			Default: netsim.FaultSpec{Drop: 0.15, Duplicate: 0.1, Delay: 0.1, Reorder: 0.05},
+		},
+		MaxRetries: 25, RestartShard: -1,
+	}
+	q := startFleet(t, p)
+	rep, err := RunQuerier(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || !rep.Exact {
+		t.Fatalf("remote lossy run not exact: %+v", rep)
+	}
+	if rep.Stats.Retransmits == 0 || rep.Stats.AckMessages == 0 {
+		t.Fatalf("ARQ cost not surfaced: %+v", rep.Stats)
+	}
+	total := 0
+	for _, sr := range rep.SSI {
+		total += sr.Received
+	}
+	// Exactly-once at the nodes despite duplicates and retransmissions on
+	// the wire.
+	if want := p.Tokens * p.TuplesEach; total != want {
+		t.Fatalf("shards ingested %d uploads, want %d (dedup failed)", total, want)
+	}
+	if err := q.Err(); err != nil {
+		t.Fatalf("querier wire error: %v", err)
+	}
+}
+
+// The remote and in-process executors agree on the same plan: same
+// aggregate surface, same verdict — the cross-substrate point of the
+// scenario layer.
+func TestRemoteMatchesInProcess(t *testing.T) {
+	p, _ := ByName("clean-64")
+	local, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := startFleet(t, p)
+	remote, err := RunQuerier(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Groups != remote.Groups || local.Total != remote.Total ||
+		local.Exact != remote.Exact || local.OK != remote.OK {
+		t.Fatalf("executors diverge:\n in-process    %+v\n multi-process %+v", local, remote)
+	}
+}

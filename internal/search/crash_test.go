@@ -1,23 +1,20 @@
 package search
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"testing"
 
-	"pds/internal/crashharness"
 	"pds/internal/flash"
 	"pds/internal/logstore"
 	"pds/internal/mcu"
 )
 
-// Search crash battery (DESIGN §11) plus the directed mid-Reorganize
-// crash tests of the reorganization contract: the old chains stay
-// authoritative until the switch record lands, then the compact index
-// takes over — a crash anywhere in between recovers one of the two, never
-// a mixture.
+// The search crash battery now runs generically from internal/durable
+// (the "search" Kind); this file keeps the directed mid-Reorganize crash
+// tests of the reorganization contract: the old chains stay authoritative
+// until the switch record lands, then the compact index takes over — a
+// crash anywhere in between recovers one of the two, never a mixture.
 
 const (
 	crashBuckets = 4
@@ -26,100 +23,6 @@ const (
 )
 
 func crashTerm(i int) string { return fmt.Sprintf("term-%02d", i%crashVocab) }
-
-type crashSearch struct {
-	e     *Engine
-	syncs int
-}
-
-func (w *crashSearch) Apply(op int) error {
-	doc := map[string]int{
-		crashTerm(op):       op%4 + 1,
-		crashTerm(op*5 + 1): op%3 + 1,
-		crashTerm(op*7 + 3): 1,
-	}
-	_, err := w.e.AddDocument(doc)
-	return err
-}
-
-func (w *crashSearch) Sync() error {
-	w.syncs++
-	// Every second boundary reorganizes first, so the sweep hits crash
-	// points throughout the rebuild and on both sides of the switch record.
-	if w.syncs%2 == 0 {
-		if err := w.e.Reorganize(2, 4); err != nil {
-			return err
-		}
-	}
-	return w.e.Sync()
-}
-
-func (w *crashSearch) Fingerprint() (string, error) {
-	h := sha256.New()
-	fmt.Fprintf(h, "ndocs=%d next=%d\n", w.e.NumDocs(), w.e.nextDoc)
-	for i := 0; i < crashVocab; i++ {
-		t := crashTerm(i)
-		fmt.Fprintf(h, "%s df=%d:", t, w.e.DocFreq(t))
-		if w.e.DocFreq(t) > 0 {
-			res, err := w.e.Search([]string{t}, 64)
-			if err != nil {
-				return "", err
-			}
-			for _, r := range res {
-				fmt.Fprintf(h, " %d=%.9f", r.Doc, r.Score)
-			}
-		}
-		fmt.Fprintln(h)
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-func searchWorkload() crashharness.Workload {
-	return crashharness.Workload{
-		Name:      "search",
-		Ops:       36,
-		SyncEvery: 6,
-		Open: func(alloc *flash.Allocator) (crashharness.Store, error) {
-			e, err := OpenDurable(alloc, mcu.NewArena(crashArena), crashBuckets)
-			if err != nil {
-				return nil, err
-			}
-			return &crashSearch{e: e}, nil
-		},
-		Reopen: func(rec *logstore.Recovered) (crashharness.Store, error) {
-			e, err := Reopen(rec, mcu.NewArena(crashArena), crashBuckets)
-			if err != nil {
-				return nil, err
-			}
-			return &crashSearch{e: e}, nil
-		},
-	}
-}
-
-func TestSearchCrashBattery(t *testing.T) {
-	w := searchWorkload()
-	base, err := crashharness.Baseline(w)
-	if err != nil {
-		t.Fatalf("baseline: %v", err)
-	}
-	stride := 1
-	if testing.Short() {
-		stride = 7
-	}
-	for _, op := range []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite, flash.CrashErase} {
-		op := op
-		t.Run(op.String(), func(t *testing.T) {
-			st, err := crashharness.Sweep(w, op, 0x5EED, stride, base)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if st.Crashes == 0 {
-				t.Fatalf("%v sweep never fired a crash (%d runs)", op, st.Runs)
-			}
-			t.Logf("%v: %d crash points, max recovery = %+v", op, st.Crashes, st.MaxRecovery)
-		})
-	}
-}
 
 // TestReorganizeCrashMidCompaction sweeps a crash across every page write
 // of one Reorganize. Whatever the crash point, the recovered engine must

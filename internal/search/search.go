@@ -149,6 +149,11 @@ func (e *Engine) Close() error {
 // NumDocs returns the number of indexed documents.
 func (e *Engine) NumDocs() int { return e.ndocs }
 
+// NextDoc returns the id the next AddDocument will assign — part of the
+// recovered application state, exposed so generic durability fingerprints
+// can include it.
+func (e *Engine) NextDoc() DocID { return e.nextDoc }
+
 // DocFreq returns the number of documents containing term.
 func (e *Engine) DocFreq(term string) int { return e.df[term] }
 

@@ -7,6 +7,7 @@ import (
 	"pds/internal/netsim"
 	"pds/internal/obs"
 	"pds/internal/privcrypto"
+	"pds/internal/transport"
 )
 
 // Metric families the toolkit emits on an attached observer, labeled by
@@ -92,7 +93,7 @@ func (e *Engine) SecureSum(values []int64, modulus int64, rng *rand.Rand) (int64
 // SecureSumSegmented runs the collusion-hardened segmented variant over
 // the engine's worker pool.
 func (e *Engine) SecureSumSegmented(values []int64, modulus int64, segments int, rng *rand.Rand) (int64, *Trace, error) {
-	sum, tr, err := SecureSumSegmentedCfg(values, modulus, segments, rng, e.workers)
+	sum, tr, err := secureSumSegmented(values, modulus, segments, rng, e.workers)
 	e.observe("secure-sum-segmented", tr)
 	return sum, tr, err
 }
@@ -100,29 +101,30 @@ func (e *Engine) SecureSumSegmented(values []int64, modulus int64, segments int,
 // ScalarProduct runs the two-party Paillier scalar product over the
 // engine's worker pool.
 func (e *Engine) ScalarProduct(a, b []int64, sk *privcrypto.PaillierPrivateKey) (int64, *Trace, error) {
-	dot, tr, err := ScalarProductCfg(a, b, sk, e.workers)
+	dot, tr, err := scalarProduct(a, b, sk, e.workers)
 	e.observe("scalar-product", tr)
 	return dot, tr, err
 }
 
-// SecureSumOverNetwork runs the ring over a simulated wire, armed with the
-// engine's fault plan and reliability settings. While the run is in flight
-// the engine's registry observes the network, so ring frames, injected
-// faults and ARQ overhead land in the netsim_* families; the ring's wire
-// cost is additionally mirrored under protocol="secure-sum-ring".
-func (e *Engine) SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64,
+// SecureSumOverNetwork runs the ring over a wire substrate (simulated or
+// TCP), armed with the engine's fault plan and reliability settings.
+// While the run is in flight the engine's registry observes the wire, so
+// ring frames, injected faults and ARQ overhead land in the netsim_*
+// families; the ring's wire cost is additionally mirrored under
+// protocol="secure-sum-ring".
+func (e *Engine) SecureSumOverNetwork(w transport.Transport, values []int64, modulus int64,
 	rng *rand.Rand) (int64, netsim.Stats, netsim.RelStats, error) {
 
 	var prev *obs.Registry
 	if e.reg != nil {
-		prev = net.Observer()
+		prev = w.Observer()
 		if prev != e.reg {
-			net.SetObserver(e.reg)
-			defer net.SetObserver(prev)
+			w.SetObserver(e.reg)
+			defer w.SetObserver(prev)
 		}
 	}
-	before := net.Stats()
-	sum, st, rel, err := SecureSumOverNetwork(net, values, modulus, rng, e.faults, e.rel)
+	before := w.Stats()
+	sum, st, rel, err := secureSumOverNetwork(w, values, modulus, rng, e.faults, e.rel)
 	e.observe("secure-sum-ring", &Trace{
 		Messages: int(st.Messages - before.Messages),
 		Bytes:    int(st.Bytes - before.Bytes),

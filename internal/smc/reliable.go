@@ -7,18 +7,18 @@ import (
 
 	"pds/internal/netsim"
 	"pds/internal/obs"
+	"pds/internal/transport"
 )
 
-// SecureSumOverNetwork runs the [CKV+02] ring protocol over a simulated
-// (and possibly faulty) wire instead of the in-process Trace: each hop
-// P(i) → P(i+1) travels as a netsim envelope of kind "ring". When plan is
-// non-nil the network injects the seeded fault schedule and every hop
-// crosses a reliable ARQ link, so the protocol still yields the exact sum
-// — or fails with netsim's typed retry error, never a wrong answer. The
-// returned stats expose both the wire cost and the reliability cost.
-//
-// Deprecated: use New(WithFaults(plan), ...).SecureSumOverNetwork.
-func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rng *rand.Rand,
+// secureSumOverNetwork runs the [CKV+02] ring protocol over a possibly
+// faulty wire instead of the in-process Trace: each hop P(i) → P(i+1)
+// travels as a netsim envelope of kind "ring", on whichever substrate w
+// is. When plan is non-nil the wire injects the seeded fault schedule and
+// every hop crosses a reliable ARQ link, so the protocol still yields the
+// exact sum — or fails with netsim's typed retry error, never a wrong
+// answer. The returned stats expose both the wire cost and the
+// reliability cost.
+func secureSumOverNetwork(w transport.Transport, values []int64, modulus int64, rng *rand.Rand,
 	plan *netsim.FaultPlan, rel netsim.Reliability) (int64, netsim.Stats, netsim.RelStats, error) {
 
 	var zero netsim.RelStats
@@ -40,16 +40,16 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 
 	var link *netsim.Link
 	if plan != nil {
-		prev := net.Faults()
-		net.SetFaults(netsim.NewFaultPlane(*plan))
-		defer net.SetFaults(prev)
-		link = netsim.NewLink(net, rel)
+		prev := w.Faults()
+		w.SetFaults(netsim.NewFaultPlane(*plan))
+		defer w.SetFaults(prev)
+		link = netsim.NewLink(w, rel)
 	}
 	// The ring walk is inherently sequential, so the trace chains each hop
 	// span under the previous one: the critical path of the protocol IS the
 	// ring, and the exported trace shows it as one dependency chain.
 	var tracer *obs.Tracer
-	if reg := net.Observer(); reg != nil {
+	if reg := w.Observer(); reg != nil {
 		tracer = reg.Tracer()
 	}
 	var ring *obs.Span
@@ -72,7 +72,7 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 		var got int64
 		inCtx := prevCtx
 		if link == nil {
-			net.Send(e)
+			w.Send(e)
 			got = running
 		} else {
 			delivered := false
@@ -101,16 +101,16 @@ func SecureSumOverNetwork(net *netsim.Network, values []int64, modulus int64, rn
 	for i := 1; i < len(values); i++ {
 		got, err := hop(i-1, i, running)
 		if err != nil {
-			return 0, net.Stats(), relStats(link), err
+			return 0, w.Stats(), relStats(link), err
 		}
 		running = (got + values[i]) % modulus
 	}
 	got, err := hop(len(values)-1, 0, running)
 	if err != nil {
-		return 0, net.Stats(), relStats(link), err
+		return 0, w.Stats(), relStats(link), err
 	}
 	sum := ((got-mask)%modulus + modulus) % modulus
-	return sum, net.Stats(), relStats(link), nil
+	return sum, w.Stats(), relStats(link), nil
 }
 
 func relStats(link *netsim.Link) netsim.RelStats {

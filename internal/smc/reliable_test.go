@@ -17,7 +17,7 @@ func TestSecureSumOverNetworkCleanMatchesSecureSum(t *testing.T) {
 		t.Fatal(err)
 	}
 	net := netsim.New()
-	got, stats, rel, err := SecureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(2)), nil, netsim.Reliability{})
+	got, stats, rel, err := secureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(2)), nil, netsim.Reliability{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestSecureSumOverNetworkExactUnderDrops(t *testing.T) {
 	}
 	net := netsim.New()
 	plan := &netsim.FaultPlan{Seed: 77, Default: netsim.FaultSpec{Drop: 0.2, Duplicate: 0.1}}
-	got, stats, rel, err := SecureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(3)), plan, netsim.Reliability{MaxRetries: 30})
+	got, stats, rel, err := secureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(3)), plan, netsim.Reliability{MaxRetries: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestSecureSumOverNetworkExactUnderDrops(t *testing.T) {
 func TestSecureSumOverNetworkRetriesExhaustedTyped(t *testing.T) {
 	net := netsim.New()
 	plan := &netsim.FaultPlan{Seed: 5, Default: netsim.FaultSpec{Drop: 1}}
-	_, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(4)), plan, netsim.Reliability{MaxRetries: 2})
+	_, _, _, err := secureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(4)), plan, netsim.Reliability{MaxRetries: 2})
 	if !errors.Is(err, netsim.ErrRetriesExhausted) {
 		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
 	}
@@ -72,14 +72,14 @@ func TestSecureSumOverNetworkRestoresFaultPlane(t *testing.T) {
 	// restore the pre-run plane (here: none).
 	net := netsim.New()
 	plan := &netsim.FaultPlan{Seed: 78, Default: netsim.FaultSpec{Drop: 0.2}}
-	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(5)), plan, netsim.Reliability{MaxRetries: 30}); err != nil {
+	if _, _, _, err := secureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(5)), plan, netsim.Reliability{MaxRetries: 30}); err != nil {
 		t.Fatal(err)
 	}
 	if net.Faults() != nil {
 		t.Error("successful run left its fault plane armed")
 	}
 	dead := &netsim.FaultPlan{Seed: 79, Default: netsim.FaultSpec{Drop: 1}}
-	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(6)), dead, netsim.Reliability{MaxRetries: 2}); err == nil {
+	if _, _, _, err := secureSumOverNetwork(net, []int64{1, 2, 3}, 100, rand.New(rand.NewSource(6)), dead, netsim.Reliability{MaxRetries: 2}); err == nil {
 		t.Fatal("drop=1 run unexpectedly succeeded")
 	}
 	if net.Faults() != nil {
@@ -89,13 +89,13 @@ func TestSecureSumOverNetworkRestoresFaultPlane(t *testing.T) {
 
 func TestSecureSumOverNetworkValidation(t *testing.T) {
 	net := netsim.New()
-	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrTooFewParties) {
+	if _, _, _, err := secureSumOverNetwork(net, []int64{1, 2}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrTooFewParties) {
 		t.Errorf("2 parties: err = %v", err)
 	}
-	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 3}, 0, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrBadModulus) {
+	if _, _, _, err := secureSumOverNetwork(net, []int64{1, 2, 3}, 0, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrBadModulus) {
 		t.Errorf("bad modulus: err = %v", err)
 	}
-	if _, _, _, err := SecureSumOverNetwork(net, []int64{1, 2, 99}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrValueRange) {
+	if _, _, _, err := secureSumOverNetwork(net, []int64{1, 2, 99}, 10, nil, nil, netsim.Reliability{}); !errors.Is(err, ErrValueRange) {
 		t.Errorf("out of range: err = %v", err)
 	}
 }
@@ -111,7 +111,7 @@ func TestSecureSumOverNetworkRingTrace(t *testing.T) {
 	values := []int64{5, 7, 11, 13}
 	mod := int64(1 << 30)
 	plan := &netsim.FaultPlan{Seed: 9, Default: netsim.FaultSpec{Drop: 0.1}}
-	got, _, _, err := SecureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(4)), plan, netsim.Reliability{MaxRetries: 30})
+	got, _, _, err := secureSumOverNetwork(net, values, mod, rand.New(rand.NewSource(4)), plan, netsim.Reliability{MaxRetries: 30})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,17 +24,15 @@ var (
 // the serial paper baseline; ScalarProductCfg fans the per-element
 // public-key work out across cores.
 func ScalarProduct(a, b []int64, sk *privcrypto.PaillierPrivateKey) (int64, *Trace, error) {
-	return ScalarProductCfg(a, b, sk, 1)
+	return scalarProduct(a, b, sk, 1)
 }
 
-// ScalarProductCfg is ScalarProduct with a bounded worker pool (workers
+// scalarProduct is ScalarProduct with a bounded worker pool (workers
 // <= 0 means GOMAXPROCS). Both expensive phases parallelize: Alice's
 // element encryptions (via privcrypto's batch helper) and Bob's
 // Enc(a_i)^{b_i} exponentiations. The protocol transcript and the result
 // are unchanged — only the schedule differs.
-//
-// Deprecated: use New(WithWorkers(workers)).ScalarProduct.
-func ScalarProductCfg(a, b []int64, sk *privcrypto.PaillierPrivateKey, workers int) (int64, *Trace, error) {
+func scalarProduct(a, b []int64, sk *privcrypto.PaillierPrivateKey, workers int) (int64, *Trace, error) {
 	if len(a) == 0 || len(a) != len(b) {
 		return 0, nil, fmt.Errorf("%w: %d vs %d", ErrVectorLength, len(a), len(b))
 	}

@@ -87,17 +87,15 @@ func secureSumWithMask(values []int64, modulus, r int64) (int64, *Trace, error) 
 // protocol runs once per segment with a different party order, so a
 // coalition of neighbours learns only masked segments. Returns the total.
 func SecureSumSegmented(values []int64, modulus int64, segments int, rng *rand.Rand) (int64, *Trace, error) {
-	return SecureSumSegmentedCfg(values, modulus, segments, rng, 1)
+	return secureSumSegmented(values, modulus, segments, rng, 1)
 }
 
-// SecureSumSegmentedCfg is SecureSumSegmented over a bounded worker pool
+// secureSumSegmented is SecureSumSegmented over a bounded worker pool
 // (workers <= 0 means GOMAXPROCS): the per-segment rings are independent
 // once shares and masks are drawn, so they run concurrently. All
 // randomness is drawn serially from rng first, so the result and trace are
 // identical to the serial run with the same seed.
-//
-// Deprecated: use New(WithWorkers(workers)).SecureSumSegmented.
-func SecureSumSegmentedCfg(values []int64, modulus int64, segments int, rng *rand.Rand, workers int) (int64, *Trace, error) {
+func secureSumSegmented(values []int64, modulus int64, segments int, rng *rand.Rand, workers int) (int64, *Trace, error) {
 	if segments < 1 {
 		return 0, nil, fmt.Errorf("smc: segments must be >= 1, got %d", segments)
 	}

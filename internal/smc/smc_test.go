@@ -327,11 +327,11 @@ func TestMillionaireCostGrowsWithDomain(t *testing.T) {
 func TestSecureSumSegmentedParallelMatchesSerial(t *testing.T) {
 	vals := []int64{11, 22, 33, 44, 55, 66}
 	const modulus, segments = 1 << 30, 5
-	serSum, serTr, err := SecureSumSegmentedCfg(vals, modulus, segments, rand.New(rand.NewSource(77)), 1)
+	serSum, serTr, err := secureSumSegmented(vals, modulus, segments, rand.New(rand.NewSource(77)), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parSum, parTr, err := SecureSumSegmentedCfg(vals, modulus, segments, rand.New(rand.NewSource(77)), 4)
+	parSum, parTr, err := secureSumSegmented(vals, modulus, segments, rand.New(rand.NewSource(77)), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +362,7 @@ func TestScalarProductParallelMatchesSerial(t *testing.T) {
 		want += a[i] * b[i]
 	}
 	for _, workers := range []int{1, 0, 4} {
-		got, tr, err := ScalarProductCfg(a, b, sk, workers)
+		got, tr, err := scalarProduct(a, b, sk, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -373,7 +373,7 @@ func TestScalarProductParallelMatchesSerial(t *testing.T) {
 			t.Errorf("workers=%d: messages = %d, want %d", workers, tr.Messages, len(a)+1)
 		}
 	}
-	if _, _, err := ScalarProductCfg([]int64{-1}, []int64{1}, sk, 2); !errors.Is(err, ErrNegative) {
+	if _, _, err := scalarProduct([]int64{-1}, []int64{1}, sk, 2); !errors.Is(err, ErrNegative) {
 		t.Errorf("negative input err = %v", err)
 	}
 }

@@ -34,7 +34,7 @@ type ShardSet struct {
 // NewShardSet creates n shards in the given adversary mode. Each shard
 // derives its own Behavior seed from b.Seed so the covert attack
 // schedules of different shards do not mirror each other.
-func NewShardSet(net *netsim.Network, n int, mode Mode, b Behavior) (*ShardSet, error) {
+func NewShardSet(net Wire, n int, mode Mode, b Behavior) (*ShardSet, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("ssi: shard count must be >= 1, got %d", n)
 	}
@@ -56,8 +56,15 @@ func (ss *ShardSet) Shard(i int) *Server { return ss.shards[i] }
 // Route returns the shard index owning a PDS id — a pure stable hash,
 // so the placement is reproducible across runs and processes.
 func (ss *ShardSet) Route(pds string) int {
+	return ShardOf(pds, len(ss.shards))
+}
+
+// ShardOf maps a PDS id to its owning shard among n — the routing
+// function a remote process uses to address the right "ssi:<i>" endpoint
+// without holding a ShardSet.
+func ShardOf(pds string, n int) int {
 	h := sha256.Sum256([]byte("ssi-shard:" + pds))
-	return int(binary.LittleEndian.Uint64(h[:8]) % uint64(len(ss.shards)))
+	return int(binary.LittleEndian.Uint64(h[:8]) % uint64(n))
 }
 
 // Dest names the wire destination for a PDS's uploads: "ssi:<shard>".

@@ -71,10 +71,19 @@ type Observations struct {
 	DistinctPayloads int
 }
 
-// Server is one SSI instance bound to a network.
+// Wire is the only view of the transport an SSI holds: the observer
+// registry it mirrors partition spans and corruption counters into. The
+// server never sends — it is a passive router — so it does not need the
+// full transport surface, and any substrate (in-process Network, TCP
+// client, or nil-observer stub) satisfies it.
+type Wire interface {
+	Observer() *obs.Registry
+}
+
+// Server is one SSI instance bound to a wire.
 type Server struct {
 	mu       sync.Mutex
-	net      *netsim.Network
+	net      Wire
 	mode     Mode
 	behavior Behavior
 
@@ -95,7 +104,7 @@ type Server struct {
 }
 
 // New creates a server in the given mode.
-func New(net *netsim.Network, mode Mode, b Behavior) *Server {
+func New(net Wire, mode Mode, b Behavior) *Server {
 	return &Server{
 		net:      net,
 		mode:     mode,

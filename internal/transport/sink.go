@@ -1,0 +1,60 @@
+// FrameSink: the passive receiving end of the ARQ layer for a remote
+// process. In the multi-process deployment the querier runs both Link
+// endpoints (loopback semantics — the simulator's contract), while the
+// process owning the destination endpoint observes forwarded copies of the
+// same wire frames. The sink decodes those copies, suppresses acks and
+// retransmission duplicates, and hands each logical envelope to the node's
+// protocol code exactly once, in arrival order.
+package transport
+
+import (
+	"strings"
+	"sync"
+
+	"pds/internal/netsim"
+)
+
+// FrameSink deduplicates the ARQ frame stream forwarded to a remote
+// endpoint.
+type FrameSink struct {
+	mu   sync.Mutex
+	seen map[frameKey]bool
+}
+
+type frameKey struct {
+	kind string
+	seq  uint64
+}
+
+// NewFrameSink returns an empty sink.
+func NewFrameSink() *FrameSink {
+	return &FrameSink{seen: map[frameKey]bool{}}
+}
+
+// Accept inspects one forwarded envelope. Frames that decode as acks, fail
+// their integrity tag, or repeat an already-seen (kind, seq) are swallowed;
+// fresh data frames are delivered with the embedded payload and trace
+// context; payloads that are not ARQ frames at all (the direct clean-wire
+// path) are delivered as-is.
+func (s *FrameSink) Accept(e netsim.Envelope, deliver func(netsim.Envelope)) {
+	if strings.HasSuffix(e.Kind, "/ack") {
+		return
+	}
+	seq, _, ack, ctx, payload, ok := netsim.DecodeFrame(e.Payload)
+	if !ok {
+		deliver(e)
+		return
+	}
+	if ack {
+		return
+	}
+	k := frameKey{kind: e.Kind, seq: seq}
+	s.mu.Lock()
+	dup := s.seen[k]
+	s.seen[k] = true
+	s.mu.Unlock()
+	if dup {
+		return
+	}
+	deliver(netsim.Envelope{From: e.From, To: e.To, Kind: e.Kind, Payload: payload, Ctx: ctx})
+}

@@ -1,0 +1,187 @@
+// The localhost switch: the rendezvous point of a multi-process
+// deployment. It owns no protocol state — it routes frames to whichever
+// connection claimed the destination endpoint and echoes every frame back
+// to its sender, which is what gives the TCP transport the simulator's
+// synchronous Deliver semantics.
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Switch is a frame router listening on localhost. Connections introduce
+// themselves (opHello), claim endpoint patterns (opClaim), and exchange
+// envelopes (opSend → opForward + opEcho). A connection's claims die with
+// it, so a crashed SSI process silently loses its traffic — exactly the
+// availability fault the protocols' integrity checks must detect.
+type Switch struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	exact  map[string]*swConn // endpoint -> owner
+	prefix map[string]*swConn // pattern without '*' -> owner
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type swConn struct {
+	conn net.Conn
+	name string
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+}
+
+func (c *swConn) write(m message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeMessage(c.bw, m)
+}
+
+// NewSwitch starts a switch on an ephemeral localhost port.
+func NewSwitch() (*Switch, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Switch{ln: ln, exact: map[string]*swConn{}, prefix: map[string]*swConn{}}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the dialable address of the switch.
+func (s *Switch) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the switch and drops every connection.
+func (s *Switch) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := map[*swConn]bool{}
+	for _, c := range s.exact {
+		conns[c] = true
+	}
+	for _, c := range s.prefix {
+		conns[c] = true
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Switch) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &swConn{conn: conn, bw: bufio.NewWriter(conn)}
+		s.wg.Add(1)
+		go s.serve(c)
+	}
+}
+
+// owner resolves an endpoint to the connection claiming it: exact match
+// first, then the longest matching prefix pattern.
+func (s *Switch) owner(endpoint string) *swConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.exact[endpoint]; ok {
+		return c
+	}
+	var best *swConn
+	bestLen := -1
+	for p, c := range s.prefix {
+		if len(p) > bestLen && strings.HasPrefix(endpoint, p) {
+			best, bestLen = c, len(p)
+		}
+	}
+	return best
+}
+
+func (s *Switch) claim(c *swConn, pattern string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := strings.CutSuffix(pattern, "*"); ok {
+		s.prefix[p] = c
+	} else {
+		s.exact[pattern] = c
+	}
+}
+
+// drop removes every claim held by c.
+func (s *Switch) drop(c *swConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, o := range s.exact {
+		if o == c {
+			delete(s.exact, k)
+		}
+	}
+	for k, o := range s.prefix {
+		if o == c {
+			delete(s.prefix, k)
+		}
+	}
+}
+
+func (s *Switch) serve(c *swConn) {
+	defer s.wg.Done()
+	defer c.conn.Close()
+	defer s.drop(c)
+	br := bufio.NewReader(c.conn)
+	for {
+		m, err := readMessage(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// A malformed or torn stream drops the connection; its
+				// claims go with it.
+				return
+			}
+			return
+		}
+		switch m.op {
+		case opHello:
+			c.name = m.env.From
+			s.claim(c, m.env.From)
+			// Echo so the dialer knows the name is routable before it
+			// returns — otherwise an immediate peer send could race the
+			// claim.
+			if c.write(message{op: opEcho, id: m.id}) != nil {
+				return
+			}
+		case opClaim:
+			s.claim(c, m.env.To)
+			if c.write(message{op: opEcho, id: m.id}) != nil {
+				return
+			}
+		case opSend:
+			if dst := s.owner(m.env.To); dst != nil && dst != c {
+				// Forwarding failure means the owner died mid-frame: the
+				// claim is dropped and the frame is lost, as on any real
+				// wire. The echo below still completes the sender's call.
+				if dst.write(message{op: opForward, env: m.env}) != nil {
+					s.drop(dst)
+					dst.conn.Close()
+				}
+			}
+			if c.write(message{op: opEcho, id: m.id, env: m.env}) != nil {
+				return
+			}
+		}
+	}
+}
