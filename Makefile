@@ -9,11 +9,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix crash-matrix-ci scenario-ci bench-part3 bench-snapshot bench-snapshot-ci
+.PHONY: ci build test vet race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix crash-matrix-ci scenario-ci serve-ci bench-part3 bench-snapshot bench-snapshot-ci
 
 # Where `make bench-snapshot` writes the perf snapshot. Committed per PR
 # (BENCH_PR<n>.json) so performance trajectories stay diffable.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,16 @@ scenario-ci:
 	$(GO) test ./cmd/pdsd -run '^TestMultiProcess(Clean|Restart)$$' -count=1 -timeout 120s
 	$(GO) test -race -short ./internal/transport ./internal/scenario -count=1 -timeout 300s
 
+# Multi-tenant hosting gate (DESIGN §13): a short open-loop serve run
+# with the SLO sanity checks (guard coverage, RAM under the arena,
+# monotone percentiles), the same-seed determinism pin (two runs must
+# agree on the decision-stream digest), and the race detector over the
+# tenant plane (shared guards hammered from many goroutines).
+serve-ci:
+	$(GO) test -race ./internal/tenant ./internal/workload -count=1 -timeout 300s
+	$(GO) test ./cmd/pdsd -run '^TestServe(Subcommand|Plan)$$' -count=1 -timeout 120s
+	$(GO) run ./cmd/pdsbench -exp E22 -quick
+
 # Coverage floor for the crash-recovery plane: the commit/replay path
 # (logstore), the crash plane (flash) and the battery driver must not
 # silently lose their test coverage.
@@ -110,7 +120,7 @@ cover-recovery:
 	check ./internal/crashharness 75; \
 	check ./internal/flash 75
 
-ci: vet build test race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix-ci scenario-ci bench-snapshot-ci
+ci: vet build test race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix-ci scenario-ci serve-ci bench-snapshot-ci
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:

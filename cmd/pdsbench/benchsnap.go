@@ -325,6 +325,10 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 	// E21 crash-recovery rows: verified crash-point sweeps per store,
 	// sim_critical_ns = the worst single recovery's NAND cost.
 	specs = append(specs, e21Specs(quick)...)
+
+	// E22 hosting rows: one full open-loop serve run each,
+	// sim_critical_ns = the schedule's virtual makespan.
+	specs = append(specs, e22Specs(quick)...)
 	return specs, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"pds/internal/folkis"
 	"pds/internal/kv"
 	"pds/internal/mcu"
+	"pds/internal/obs"
 	"pds/internal/search"
 	"pds/internal/smc"
 	"pds/internal/sptemp"
@@ -322,8 +323,18 @@ func runE15(cfg config) error {
 			const steps = 120
 			sim.Run(steps)
 			st := sim.Stats()
-			p50, _ := sim.Percentile(50)
-			p95, _ := sim.Percentile(95)
+			// Delivery latencies are step counts <= the step budget, so a
+			// histogram with one bucket per step makes Quantile exact.
+			bounds := make([]int64, steps)
+			for i := range bounds {
+				bounds[i] = int64(i + 1)
+			}
+			lat := obs.NewRegistry().Histogram("folkis_delivery_steps", bounds)
+			for _, l := range sim.Latencies() {
+				lat.Observe(int64(l))
+			}
+			p50, _ := lat.Quantile(0.50)
+			p95, _ := lat.Quantile(0.95)
 			fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%.0f%%\t%d\t%d\t%d\t%d\n",
 				c.nodes, c.locations, r, steps, 100*st.DeliveryRatio(), p50, p95, st.Copies, st.Drops)
 		}

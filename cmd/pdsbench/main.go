@@ -61,6 +61,7 @@ var experiments = []experiment{
 	{"E18", "Fault-tolerant Part III execution under injected faults (robustness)", runE18},
 	{"E20", "Hierarchical fan-in scaling: flat vs tree critical path, bounded memory", runE20},
 	{"E21", "Power-fail crash recovery: prefix battery and recovery cost", runE21},
+	{"E22", "Multi-tenant hosting: admission control and SLOs under open-loop load", runE22},
 }
 
 func main() {

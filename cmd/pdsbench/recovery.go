@@ -2,214 +2,32 @@
 // deterministic crash plane (flash.CrashPlan) kills the chip at the k-th
 // page write, torn page or block erase; log-replay recovery
 // (logstore.Recover) rebuilds the committed prefix. This file sweeps the
-// crash point across three store workloads — the key-value store, the
-// search engine and an embdb table — verifying prefix consistency on
-// every run (via internal/crashharness) and reporting what recovery
-// costs in page I/Os and simulated NAND time.
+// crash point across the three conforming engines of the
+// internal/durable registry — the key-value store, the search engine and
+// an embdb table — verifying prefix consistency on every run (via
+// internal/crashharness) and reporting what recovery costs in page I/Os.
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"errors"
 	"fmt"
 	"time"
 
 	"pds/internal/crashharness"
-	"pds/internal/embdb"
+	"pds/internal/durable"
 	"pds/internal/flash"
-	"pds/internal/kv"
 	"pds/internal/logstore"
-	"pds/internal/mcu"
-	"pds/internal/search"
 )
 
-// ---- the three E21 workloads (exported-API twins of the package batteries)
-
-type e21KV struct {
-	s     *kv.Store
-	syncs int
-}
-
-func (w *e21KV) key(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i%17)) }
-
-func (w *e21KV) Apply(op int) error {
-	if op%7 == 3 {
-		return w.s.Delete(w.key(op % 17))
-	}
-	return w.s.Put(w.key(op%17), []byte(fmt.Sprintf("val-%05d-%032d", op, op*op)))
-}
-
-func (w *e21KV) Sync() error {
-	w.syncs++
-	if w.syncs%3 == 0 {
-		if err := w.s.Compact(2, 4); err != nil {
-			return err
-		}
-	}
-	return w.s.Sync()
-}
-
-func (w *e21KV) Fingerprint() (string, error) {
-	h := sha256.New()
-	for i := 0; i < 17; i++ {
-		v, _, err := w.s.Get(w.key(i))
-		switch {
-		case errors.Is(err, kv.ErrNotFound):
-			fmt.Fprintf(h, "%03d=absent\n", i)
-		case err != nil:
-			return "", err
-		default:
-			fmt.Fprintf(h, "%03d=%s\n", i, v)
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-func e21KVWorkload() crashharness.Workload {
-	return crashharness.Workload{
-		Name: "kv", Ops: 56, SyncEvery: 8,
-		Open: func(alloc *flash.Allocator) (crashharness.Store, error) {
-			s, err := kv.OpenDurable(alloc)
-			if err != nil {
-				return nil, err
-			}
-			return &e21KV{s: s}, nil
-		},
-		Reopen: func(rec *logstore.Recovered) (crashharness.Store, error) {
-			s, err := kv.Reopen(rec)
-			if err != nil {
-				return nil, err
-			}
-			return &e21KV{s: s}, nil
-		},
-	}
-}
-
-const (
-	e21Buckets = 4
-	e21Arena   = 8192
-)
-
-type e21Search struct {
-	e     *search.Engine
-	syncs int
-}
-
-func e21Term(i int) string { return fmt.Sprintf("term-%02d", i%10) }
-
-func (w *e21Search) Apply(op int) error {
-	_, err := w.e.AddDocument(map[string]int{
-		e21Term(op):       op%4 + 1,
-		e21Term(op*5 + 1): op%3 + 1,
-		e21Term(op*7 + 3): 1,
-	})
-	return err
-}
-
-func (w *e21Search) Sync() error {
-	w.syncs++
-	if w.syncs%2 == 0 {
-		if err := w.e.Reorganize(2, 4); err != nil {
-			return err
-		}
-	}
-	return w.e.Sync()
-}
-
-func (w *e21Search) Fingerprint() (string, error) {
-	h := sha256.New()
-	fmt.Fprintf(h, "ndocs=%d\n", w.e.NumDocs())
-	for i := 0; i < 10; i++ {
-		t := e21Term(i)
-		fmt.Fprintf(h, "%s df=%d:", t, w.e.DocFreq(t))
-		if w.e.DocFreq(t) > 0 {
-			res, err := w.e.Search([]string{t}, 64)
-			if err != nil {
-				return "", err
-			}
-			for _, r := range res {
-				fmt.Fprintf(h, " %d=%.9f", r.Doc, r.Score)
-			}
-		}
-		fmt.Fprintln(h)
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-func e21SearchWorkload() crashharness.Workload {
-	return crashharness.Workload{
-		Name: "search", Ops: 36, SyncEvery: 6,
-		Open: func(alloc *flash.Allocator) (crashharness.Store, error) {
-			e, err := search.OpenDurable(alloc, mcu.NewArena(e21Arena), e21Buckets)
-			if err != nil {
-				return nil, err
-			}
-			return &e21Search{e: e}, nil
-		},
-		Reopen: func(rec *logstore.Recovered) (crashharness.Store, error) {
-			e, err := search.Reopen(rec, mcu.NewArena(e21Arena), e21Buckets)
-			if err != nil {
-				return nil, err
-			}
-			return &e21Search{e: e}, nil
-		},
-	}
-}
-
-var e21Schema = embdb.NewSchema(embdb.Column{Name: "id", Type: embdb.Int}, embdb.Column{Name: "name", Type: embdb.Str})
-
-type e21Table struct {
-	t *embdb.Table
-	j *logstore.Journal
-}
-
-func (w *e21Table) Apply(op int) error {
-	_, err := w.t.Insert(embdb.Row{embdb.IntVal(int64(op)), embdb.StrVal(fmt.Sprintf("customer-%04d-padding", op))})
-	return err
-}
-
-func (w *e21Table) Sync() error { return embdb.SyncTables(w.j, w.t) }
-
-func (w *e21Table) Fingerprint() (string, error) {
-	h := sha256.New()
-	fmt.Fprintf(h, "rows=%d\n", w.t.Len())
-	it := w.t.Scan()
-	for {
-		row, rid, ok := it.Next()
-		if !ok {
-			break
-		}
-		fmt.Fprintf(h, "%d: %v|%v\n", rid, row[0], row[1])
-	}
-	if err := it.Err(); err != nil {
-		return "", err
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-func e21TableWorkload() crashharness.Workload {
-	return crashharness.Workload{
-		Name: "embdb", Ops: 45, SyncEvery: 9,
-		Open: func(alloc *flash.Allocator) (crashharness.Store, error) {
-			j, err := logstore.NewJournal(alloc)
-			if err != nil {
-				return nil, err
-			}
-			return &e21Table{t: embdb.NewTable(alloc, "customer", e21Schema), j: j}, nil
-		},
-		Reopen: func(rec *logstore.Recovered) (crashharness.Store, error) {
-			t, err := embdb.ReopenTable(rec, "customer", e21Schema)
-			if err != nil {
-				return nil, err
-			}
-			return &e21Table{t: t, j: rec.Journal}, nil
-		},
-	}
-}
-
+// e21Workloads adapts every registered durable engine to the battery —
+// the same Kinds the crash battery, pdsd's store role and the tenant
+// host drive, so E21 measures exactly the hosted surface.
 func e21Workloads() []crashharness.Workload {
-	return []crashharness.Workload{e21KVWorkload(), e21SearchWorkload(), e21TableWorkload()}
+	kinds := durable.Kinds()
+	ws := make([]crashharness.Workload, len(kinds))
+	for i, k := range kinds {
+		ws[i] = crashharness.WorkloadFor(k)
+	}
+	return ws
 }
 
 var e21Faults = []flash.CrashOp{flash.CrashWrite, flash.CrashTornWrite, flash.CrashErase}
@@ -325,9 +143,15 @@ func e21Specs(quick bool) []benchSpec {
 			},
 		}
 	}
-	return []benchSpec{
-		mk("E21RecoverKV", e21KVWorkload()),
-		mk("E21RecoverSearch", e21SearchWorkload()),
-		mk("E21RecoverTable", e21TableWorkload()),
+	ws := e21Workloads()
+	specs := make([]benchSpec, 0, len(ws))
+	names := map[string]string{"kv": "E21RecoverKV", "search": "E21RecoverSearch", "embdb": "E21RecoverTable"}
+	for _, w := range ws {
+		name := names[w.Name]
+		if name == "" {
+			name = "E21Recover" + w.Name
+		}
+		specs = append(specs, mk(name, w))
 	}
+	return specs
 }

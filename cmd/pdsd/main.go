@@ -7,12 +7,21 @@
 //	pdsd -list                      # show the plan catalog
 //	pdsd -plan lossy-256            # run a plan, report JSON on stdout
 //	pdsd -plan restart-64 -out DIR  # also write obs/trace exports to DIR
+//	pdsd serve -tenants 1000        # multi-tenant hosting under open-loop load
 //
 // The coordinator re-execs its own binary for each role; the role flags
 // (-role, -connect, -shard, ...) are internal plumbing, not a user
 // surface. A restart plan's SSI process exits mid-collection by design;
 // the coordinator respawns it once, empty, and the querier's checksum
 // must detect the state loss.
+//
+// The serve subcommand is the hosting mode of DESIGN §13: one daemon
+// multiplexing a whole tenant population — per-tenant chips, policies
+// and quotas, admission-controlled scheduling, LRU eviction to flash —
+// driven by a seeded open-loop arrival schedule, reporting per-class
+// latency percentiles and the decision-stream digest two same-seed runs
+// must agree on. Named hosting plans (serve-quick, serve-1k) run the
+// same path with pinned configurations.
 package main
 
 import (
@@ -27,10 +36,14 @@ import (
 	"time"
 
 	"pds/internal/scenario"
+	"pds/internal/tenant"
 	"pds/internal/transport"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
+	}
 	var (
 		list      = flag.Bool("list", false, "list the scenario plan catalog and exit")
 		planName  = flag.String("plan", "", "scenario plan to run")
@@ -162,9 +175,86 @@ type Output struct {
 	Stores   []scenario.StoreReport `json:",omitempty"` // store plans
 }
 
+// runServe is the hosting mode: parse a ServeConfig from flags, run the
+// open-loop schedule against one in-process host, emit the combined
+// report (and exports under -out).
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("pdsd serve", flag.ExitOnError)
+	var (
+		tenants  = fs.Int("tenants", 1000, "tenant population size")
+		rate     = fs.Float64("rate", 2000, "open-loop arrival rate (req/s)")
+		arrivals = fs.Int("arrivals", 0, "schedule length (0 = 4x tenants)")
+		seed     = fs.Int64("seed", 1, "arrival-schedule seed")
+		zipf     = fs.Float64("zipf", 1.1, "tenant popularity skew (s > 1; <= 1 uniform)")
+		deny     = fs.Float64("deny", 0.02, "fraction of arrivals with a forbidden purpose")
+		arena    = fs.Int("arena", 0, "host RAM envelope in bytes (0 = default)")
+		slots    = fs.Int("slots", 0, "execution slots per class (0 = default)")
+		queue    = fs.Int("queue", 0, "pending queue depth per class (0 = default)")
+		quota    = fs.Int("quota", 0, "per-tenant flash page quota (0 = default)")
+		outDir   = fs.String("out", "", "directory for obs snapshot and trace exports")
+	)
+	fs.Parse(args)
+	cfg := tenant.ServeConfig{
+		Tenants:    *tenants,
+		RatePerSec: *rate,
+		Arrivals:   *arrivals,
+		Seed:       *seed,
+		ZipfS:      *zipf,
+		DenyFrac:   *deny,
+		Host:       tenant.HostConfig{ArenaBytes: *arena, Slots: *slots, QueueDepth: *queue, PageQuota: *quota},
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = -1
+	}
+	if cfg.DenyFrac == 0 {
+		cfg.DenyFrac = -1
+	}
+	rep := scenario.RunServe("serve", cfg)
+	out := Output{Plan: "serve", OK: rep.OK, Report: &rep}
+	if *outDir != "" {
+		if err := writeExports(*outDir, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pdsd serve: exports: %v\n", err)
+			out.OK = false
+		}
+	}
+	json.NewEncoder(os.Stdout).Encode(out)
+	if !out.OK {
+		if rep.Failure != "" {
+			fmt.Fprintf(os.Stderr, "pdsd serve: %s\n", rep.Failure)
+		}
+		return 1
+	}
+	return 0
+}
+
+// coordinateServe runs a named hosting plan. Hosting is single-process
+// by design — the density of one daemon is what the plan measures — so
+// there is nothing to spawn.
+func coordinateServe(p scenario.Plan, outDir string) int {
+	rep := scenario.RunServe(p.Name, *p.Serve)
+	out := Output{Plan: p.Name, OK: rep.OK, Report: &rep}
+	if outDir != "" {
+		if err := writeExports(outDir, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pdsd: exports: %v\n", err)
+			out.OK = false
+		}
+	}
+	json.NewEncoder(os.Stdout).Encode(out)
+	if !out.OK {
+		if rep.Failure != "" {
+			fmt.Fprintf(os.Stderr, "pdsd: %s: %s\n", p.Name, rep.Failure)
+		}
+		return 1
+	}
+	return 0
+}
+
 func coordinate(p scenario.Plan, outDir string) int {
 	if p.IsStore() {
 		return coordinateStore(p)
+	}
+	if p.IsServe() {
+		return coordinateServe(p, outDir)
 	}
 	self, err := os.Executable()
 	if err != nil {

@@ -158,6 +158,62 @@ func TestMultiProcessLossy(t *testing.T) {
 	}
 }
 
+// The serve subcommand end to end: the real binary hosts a tenant
+// population under open-loop load, reports SLOs and a decision digest,
+// and two same-seed runs agree byte for byte on the digest.
+func TestServeSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	run := func(outDir string) Output {
+		args := []string{"serve", "-tenants", "150", "-arrivals", "1200", "-rate", "4000", "-seed", "17"}
+		if outDir != "" {
+			args = append(args, "-out", outDir)
+		}
+		cmd := exec.Command(pdsdBin(t), args...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("pdsd serve: %v\n%s", err, stdout)
+		}
+		var out Output
+		if err := json.Unmarshal(stdout, &out); err != nil {
+			t.Fatalf("pdsd serve produced no report: %v\n%s", err, stdout)
+		}
+		return out
+	}
+	out1 := run(dir)
+	if !out1.OK || out1.Report == nil || out1.Report.Hosting == nil {
+		t.Fatalf("serve run: %+v", out1)
+	}
+	h := out1.Report.Hosting
+	if h.Admitted == 0 || h.Denied == 0 || h.ACLDecisions != int64(h.Arrivals) {
+		t.Fatalf("hosting report: %+v", h)
+	}
+	if h.RAMHighWater > h.RAMBudget {
+		t.Fatalf("RAM high-water %d over budget %d", h.RAMHighWater, h.RAMBudget)
+	}
+	for _, f := range []string{"report.json", "querier.obs.json", "querier.trace.json"} {
+		if b, err := os.ReadFile(filepath.Join(dir, f)); err != nil || len(b) == 0 {
+			t.Fatalf("export %s: %v (%d bytes)", f, err, len(b))
+		}
+	}
+	out2 := run("")
+	if out2.Report.Hosting.DecisionDigest != h.DecisionDigest {
+		t.Fatalf("same-seed serve runs disagree:\n  %s\n  %s",
+			h.DecisionDigest, out2.Report.Hosting.DecisionDigest)
+	}
+}
+
+// The named hosting plan through the coordinator path.
+func TestServePlan(t *testing.T) {
+	out, _, err := runPlan(t, "serve-quick", "")
+	if err != nil {
+		t.Fatalf("pdsd exit: %v (report %+v)", err, out)
+	}
+	if !out.OK || out.Report == nil || out.Report.Mode != "serve" || out.Report.Hosting == nil {
+		t.Fatalf("serve plan: %+v", out)
+	}
+}
+
 // The store plan end to end: one OS process per durable engine, each
 // sweeping its crash battery.
 func TestMultiProcessStoreSweep(t *testing.T) {

@@ -97,6 +97,15 @@ func Baseline(w Workload) ([]string, error) {
 			return nil, fmt.Errorf("baseline final sync: %w", err)
 		}
 	}
+	// Close must release volatile state only; the frozen footprint of a
+	// store that ran a whole workload cannot be empty.
+	pages := st.Pages()
+	if err := st.Close(); err != nil {
+		return nil, fmt.Errorf("baseline close: %w", err)
+	}
+	if got := st.Pages(); got != pages || pages == 0 {
+		return nil, fmt.Errorf("baseline footprint %d pages live, %d after close", pages, got)
+	}
 	return fps, nil
 }
 
@@ -113,6 +122,9 @@ type Result struct {
 	// RecoveryIO is the total chip I/O spent between Reopen and the store
 	// being servable again (scan + reclaim + adoption + store rebuild).
 	RecoveryIO flash.Stats
+	// FootprintPages is the recovered store's flash page footprint — the
+	// quota currency a multi-tenant host meters per tenant.
+	FootprintPages int
 }
 
 // CrashRun executes the workload under plan against the baseline
@@ -184,10 +196,18 @@ func CrashRun(w Workload, plan flash.CrashPlan, baseline []string) (Result, erro
 	}
 	res.Recovery = rec.Stats
 	res.RecoveryIO = chip2.Stats()
+	res.FootprintPages = st2.Pages()
 	fp, err := st2.Fingerprint()
 	if err != nil {
 		return res, fmt.Errorf("%s/%v/after=%d: fingerprint: %w", w.Name, plan.Op, plan.After, err)
 	}
+	// Closing both incarnations must succeed at every crash point: the
+	// crashed store's Close touches no flash (the chip is dead), the
+	// recovered one's releases volatile state only.
+	if err := st.Close(); err != nil {
+		return res, fmt.Errorf("%s/%v/after=%d: close crashed store: %w", w.Name, plan.Op, plan.After, err)
+	}
+	defer st2.Close()
 
 	// The recovered state must be a committed prefix inside the window.
 	if attempted < acked || attempted >= len(baseline) {

@@ -18,6 +18,23 @@ type plainLog struct {
 	l      *logstore.Log
 	j      *logstore.Journal
 	commit bool
+	closed bool
+	frozen int
+}
+
+func (p *plainLog) Close() error {
+	if !p.closed {
+		p.closed = true
+		p.frozen = p.l.Pages()
+	}
+	return nil
+}
+
+func (p *plainLog) Pages() int {
+	if p.closed {
+		return p.frozen
+	}
+	return p.l.Pages()
 }
 
 func (p *plainLog) Apply(op int) error {

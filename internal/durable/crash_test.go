@@ -106,3 +106,75 @@ func TestSyncReopenFingerprint(t *testing.T) {
 		})
 	}
 }
+
+// Evict-to-flash / reopen-on-demand: after Sync, Close releases only
+// volatile state — logstore.Recover on the SAME live chip (no power
+// cycle) plus Kind.Reopen must reconstruct an identical store, and the
+// frozen footprint must survive Close unchanged. This is the exact churn
+// cycle the multi-tenant host puts every idle tenant through.
+func TestEvictReopenCycle(t *testing.T) {
+	for _, k := range durable.Kinds() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			chip := flash.NewChip(flash.SmallGeometry())
+			st, err := k.Open(flash.NewAllocator(chip))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fps := make([]string, 0, 3)
+			for cycle := 0; cycle < 3; cycle++ {
+				for op := cycle * k.SyncEvery; op < (cycle+1)*k.SyncEvery; op++ {
+					if err := st.Apply(op); err != nil {
+						t.Fatalf("cycle %d op %d: %v", cycle, op, err)
+					}
+				}
+				if err := st.Sync(); err != nil {
+					t.Fatalf("cycle %d sync: %v", cycle, err)
+				}
+				fp, err := st.Fingerprint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fps = append(fps, fp)
+
+				// Evict: footprint must freeze across Close, and Close must
+				// be idempotent.
+				live := st.Pages()
+				if live == 0 {
+					t.Fatalf("cycle %d: synced store reports zero pages", cycle)
+				}
+				if err := st.Close(); err != nil {
+					t.Fatalf("cycle %d close: %v", cycle, err)
+				}
+				if err := st.Close(); err != nil {
+					t.Fatalf("cycle %d second close: %v", cycle, err)
+				}
+				if got := st.Pages(); got != live {
+					t.Fatalf("cycle %d: footprint %d live, %d after close", cycle, live, got)
+				}
+
+				// Reopen on demand from the live chip — no power cycle.
+				rec, err := logstore.Recover(chip, nil)
+				if err != nil {
+					t.Fatalf("cycle %d recover: %v", cycle, err)
+				}
+				st, err = k.Reopen(rec)
+				if err != nil {
+					t.Fatalf("cycle %d reopen: %v", cycle, err)
+				}
+				got, err := st.Fingerprint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != fp {
+					t.Fatalf("cycle %d: fingerprint changed across evict/reopen:\n  before %s\n  after  %s", cycle, fp, got)
+				}
+			}
+			for i := 1; i < len(fps); i++ {
+				if fps[i] == fps[i-1] {
+					t.Fatalf("cycles %d and %d left identical fingerprints — workload not advancing", i-1, i)
+				}
+			}
+		})
+	}
+}

@@ -32,10 +32,23 @@ import (
 // reorganization), and Fingerprint digests the logical contents
 // canonically — equal across physical layouts, e.g. before and after
 // compaction.
+//
+// Close and Pages are the tenant-lifecycle half of the contract. Close
+// releases the store's volatile resources (RAM reservations, buffered
+// writers) WITHOUT disturbing the durable flash image: after Sync+Close,
+// the instance is reconstructable with Kind.Reopen over logstore.Recover
+// of the same chip — the evict-to-flash / reopen-on-demand cycle a
+// multi-tenant host churns through. Close is idempotent and does not
+// imply Sync; unsynced operations are lost, exactly as in a power cut.
+// Pages is the store's current flash page footprint (the quota currency
+// of a hosted tenant); it stays readable after Close, frozen at the
+// closed value.
 type Store interface {
 	Apply(op int) error
 	Sync() error
 	Fingerprint() (string, error)
+	Close() error
+	Pages() int
 }
 
 // Kind is one storage engine conforming to the durable contract.
@@ -46,7 +59,10 @@ type Kind struct {
 	SyncEvery int
 	// CrashOps lists the fault kinds the engine's battery sweeps.
 	CrashOps []flash.CrashOp
-	// Open creates a fresh store (journal included) on alloc.
+	// Open creates a fresh store (journal included) on alloc. The opened
+	// store reports its page footprint through Store.Pages, so a hosting
+	// quota can be enforced from the first write without engine-specific
+	// spellings.
 	Open func(alloc *flash.Allocator) (Store, error)
 	// Reopen reconstructs the store from recovered state.
 	Reopen func(rec *logstore.Recovered) (Store, error)
@@ -76,6 +92,35 @@ const kvKeyUniverse = 17
 type kvStore struct {
 	s     *kv.Store
 	syncs int
+	fp    footprint
+}
+
+// footprint implements the Close/Pages half of the Store contract for a
+// conformer: live reads delegate, the closed value is frozen. release
+// runs once, on the first Close, and must only drop volatile resources —
+// never flash blocks.
+type footprint struct {
+	closed bool
+	pages  int
+}
+
+func (f *footprint) close(pages func() int, release func()) error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.pages = pages()
+	if release != nil {
+		release()
+	}
+	return nil
+}
+
+func (f *footprint) read(pages func() int) int {
+	if f.closed {
+		return f.pages
+	}
+	return pages()
 }
 
 func (w *kvStore) key(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
@@ -99,6 +144,12 @@ func (w *kvStore) Sync() error {
 	}
 	return w.s.Sync()
 }
+
+// Close drops the in-memory key index; the logs stay on flash for Reopen.
+func (w *kvStore) Close() error { return w.fp.close(w.s.Pages, nil) }
+
+// Pages reports the key/value/summary log footprint.
+func (w *kvStore) Pages() int { return w.fp.read(w.s.Pages) }
 
 func (w *kvStore) Fingerprint() (string, error) {
 	h := sha256.New()
@@ -155,7 +206,17 @@ func searchTerm(i int) string { return fmt.Sprintf("term-%02d", i%searchVocab) }
 type searchStore struct {
 	e     *search.Engine
 	syncs int
+	fp    footprint
 }
+
+func (w *searchStore) pages() int { return w.e.Pages() + w.e.CompactPages() }
+
+// Close releases the engine's RAM reservation (Detach); the bucket chains
+// and compact directory stay on flash for Reopen.
+func (w *searchStore) Close() error { return w.fp.close(w.pages, w.e.Detach) }
+
+// Pages reports the chain + compact-area footprint.
+func (w *searchStore) Pages() int { return w.fp.read(w.pages) }
 
 func (w *searchStore) Apply(op int) error {
 	doc := map[string]int{
@@ -229,9 +290,16 @@ var embdbSchema = embdb.NewSchema(embdb.Column{Name: "id", Type: embdb.Int}, emb
 // embdbStore drives one sequential table, fingerprinted by a full scan
 // plus a random access that must agree with it after any recovery.
 type embdbStore struct {
-	t *embdb.Table
-	j *logstore.Journal
+	t  *embdb.Table
+	j  *logstore.Journal
+	fp footprint
 }
+
+// Close drops the table handle; the sequential log stays on flash.
+func (w *embdbStore) Close() error { return w.fp.close(w.t.Pages, nil) }
+
+// Pages reports the sequential-log footprint.
+func (w *embdbStore) Pages() int { return w.fp.read(w.t.Pages) }
 
 func (w *embdbStore) Apply(op int) error {
 	_, err := w.t.Insert(embdb.Row{embdb.IntVal(int64(op)), embdb.StrVal(fmt.Sprintf("customer-%04d-padding", op))})

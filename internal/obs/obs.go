@@ -104,6 +104,43 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n.Load() }
 
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// derived from the fixed buckets: the smallest bucket bound whose
+// cumulative count covers ceil(q*n) observations. An observation that
+// landed in the overflow bucket has no finite bound, so a quantile that
+// falls there saturates to the largest configured bound — size the buckets
+// so the tail quantiles you care about stay finite. ok is false when the
+// histogram is empty or q is out of range.
+func (h *Histogram) Quantile(q float64) (v int64, ok bool) {
+	n := h.n.Load()
+	if n == 0 || q <= 0 || q > 1 {
+		return 0, false
+	}
+	// ceil(q*n) without float drift on exact multiples.
+	rank := int64(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].v.Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i], true
+			}
+			break
+		}
+	}
+	// Overflow (or no finite bucket at all): saturate.
+	if len(h.bounds) == 0 {
+		return 0, false
+	}
+	return h.bounds[len(h.bounds)-1], true
+}
+
 // Registry holds one namespace of metrics plus its tracer and simulated
 // clock. The zero value is not usable; call NewRegistry.
 type Registry struct {

@@ -1,0 +1,109 @@
+package obs
+
+import "testing"
+
+// latBounds is a latency-shaped bucket layout: exponential-ish bounds so
+// the tail quantiles the serve plane reports (p99/p999) stay finite.
+func latBounds() []int64 {
+	return []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", latBounds())
+	// 1000 observations 1..1000: every value lands at its exact bound or
+	// the next one up.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.5, 500},    // rank 500 → bucket le=500 (cum 500)
+		{0.99, 1000},  // rank 990 → bucket le=1000
+		{0.999, 1000}, // rank 999 → bucket le=1000
+		{1.0, 1000},
+		{0.001, 1},
+	}
+	for _, c := range cases {
+		got, ok := h.Quantile(c.q)
+		if !ok || got != c.want {
+			t.Errorf("Quantile(%v) = %d, %v; want %d", c.q, got, ok, c.want)
+		}
+	}
+}
+
+func TestQuantileEmptyAndRange(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", latBounds())
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("empty histogram reported a quantile")
+	}
+	h.Observe(3)
+	for _, q := range []float64{0, -0.1, 1.0001} {
+		if _, ok := h.Quantile(q); ok {
+			t.Errorf("Quantile(%v) accepted an out-of-range q", q)
+		}
+	}
+	if got, ok := h.Quantile(0.5); !ok || got != 5 {
+		t.Errorf("single observation: Quantile(0.5) = %d, %v; want 5", got, ok)
+	}
+}
+
+func TestQuantileOverflowSaturates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20})
+	h.Observe(5)
+	h.Observe(1_000_000) // overflow
+	// p50 covered by the finite buckets; p99 falls in overflow and must
+	// saturate to the largest configured bound rather than invent a value.
+	if got, ok := h.Quantile(0.5); !ok || got != 10 {
+		t.Errorf("Quantile(0.5) = %d, %v; want 10", got, ok)
+	}
+	if got, ok := h.Quantile(0.99); !ok || got != 20 {
+		t.Errorf("Quantile(0.99) = %d, %v; want saturated 20", got, ok)
+	}
+}
+
+func TestQuantileSkewedTail(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", latBounds())
+	// 997 fast ops, 3 slow ones: p99 stays fast, p999 lands on the tail.
+	for i := 0; i < 997; i++ {
+		h.Observe(4)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(1800)
+	}
+	if got, _ := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got, _ := h.Quantile(0.99); got != 5 {
+		t.Errorf("p99 = %d, want 5", got)
+	}
+	if got, _ := h.Quantile(0.999); got != 2000 {
+		t.Errorf("p999 = %d, want 2000", got)
+	}
+}
+
+func TestQuantileSurvivesMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	for i := 0; i < 50; i++ {
+		a.Histogram("q", latBounds()).Observe(3)
+		b.Histogram("q", latBounds()).Observe(300)
+	}
+	dst := NewRegistry()
+	dst.Merge(a)
+	dst.Merge(b)
+	h := dst.Histogram("q", latBounds())
+	if got := h.Count(); got != 100 {
+		t.Fatalf("merged count = %d, want 100", got)
+	}
+	if got, _ := h.Quantile(0.25); got != 5 {
+		t.Errorf("merged p25 = %d, want 5", got)
+	}
+	if got, _ := h.Quantile(0.75); got != 500 {
+		t.Errorf("merged p75 = %d, want 500", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"pds/internal/netsim"
 	"pds/internal/obs"
 	"pds/internal/ssi"
+	"pds/internal/tenant"
 	"pds/internal/transport"
 )
 
@@ -43,14 +44,15 @@ type Report struct {
 	Shards   int
 	Groups   int
 	Total    int64
-	Exact    bool            // aggregate equals the plain computation
-	Detected bool            // token-side checks raised a DetectionError
-	OK       bool            // the plan's expectation held
-	Failure  string          `json:",omitempty"`
-	Stats    WireStats       `json:",omitempty"`
-	SSI      []ShardReport   `json:",omitempty"`
-	Obs      json.RawMessage `json:",omitempty"` // querier obs snapshot
-	Trace    json.RawMessage `json:",omitempty"` // Perfetto trace export
+	Exact    bool                // aggregate equals the plain computation
+	Detected bool                // token-side checks raised a DetectionError
+	OK       bool                // the plan's expectation held
+	Failure  string              `json:",omitempty"`
+	Stats    WireStats           `json:",omitempty"`
+	SSI      []ShardReport       `json:",omitempty"`
+	Hosting  *tenant.ServeReport `json:",omitempty"` // serve plans
+	Obs      json.RawMessage     `json:",omitempty"` // querier obs snapshot
+	Trace    json.RawMessage     `json:",omitempty"` // Perfetto trace export
 }
 
 // verdict fills the outcome fields from a protocol run against the
@@ -109,6 +111,9 @@ func resultsEqual(a, b gquery.Result) bool {
 func Run(p Plan) (Report, error) {
 	if p.IsStore() {
 		return runStorePlan(p)
+	}
+	if p.IsServe() {
+		return RunServe(p.Name, *p.Serve), nil
 	}
 	rep := Report{Plan: p.Name, Mode: "in-process", Tokens: p.Tokens, Shards: p.Shards}
 	w := netsim.New()
@@ -277,6 +282,37 @@ func RunStoreSweep(kind string, stride int) StoreReport {
 	if !rep.OK {
 		rep.Failure = "no sweep ever fired a crash"
 	}
+	return rep
+}
+
+// RunServe executes one hosting run and verifies its invariants: every
+// arrival crossed a guard, resident RAM stayed under the arena budget,
+// work was actually admitted, and a non-trivial population churned
+// through eviction. The serve report and the obs snapshot both ride the
+// scenario report, so hosting runs export like protocol runs.
+func RunServe(name string, cfg tenant.ServeConfig) Report {
+	rep := Report{Plan: name, Mode: "serve"}
+	reg := obs.NewRegistry()
+	sr, err := tenant.Serve(cfg, reg)
+	if err != nil {
+		rep.Failure = err.Error()
+		return rep
+	}
+	rep.Hosting = sr
+	rep.Tokens = sr.Tenants
+	switch {
+	case sr.ACLDecisions != int64(sr.Arrivals):
+		rep.Failure = fmt.Sprintf("acl decisions %d != arrivals %d: unguarded request path", sr.ACLDecisions, sr.Arrivals)
+	case sr.RAMHighWater > sr.RAMBudget:
+		rep.Failure = fmt.Sprintf("resident RAM high-water %d over arena budget %d", sr.RAMHighWater, sr.RAMBudget)
+	case sr.Admitted == 0:
+		rep.Failure = "no request was admitted"
+	case sr.Provisions == 0 || sr.Provisions > int64(sr.Tenants):
+		rep.Failure = fmt.Sprintf("provisioned %d envelopes for a %d-tenant population", sr.Provisions, sr.Tenants)
+	default:
+		rep.OK = true
+	}
+	attachObs(&rep, reg)
 	return rep
 }
 

@@ -17,6 +17,7 @@ import (
 	"pds/internal/netsim"
 	"pds/internal/obs"
 	"pds/internal/ssi"
+	"pds/internal/tenant"
 )
 
 // DefaultDomain is the grouping-attribute domain plans draw tuples from
@@ -67,11 +68,20 @@ type Plan struct {
 	// the crash-recovery sweep at StoreStride.
 	StoreKinds  []string
 	StoreStride int
+
+	// Serve, when non-nil, makes this a hosting plan: one pdsd daemon
+	// multiplexing Serve.Tenants PDS instances under the plan's open-loop
+	// schedule (DESIGN §13). Hosting plans are inherently single-process
+	// — the density is the point — so both executors run them inline.
+	Serve *tenant.ServeConfig
 }
 
 // IsStore reports whether the plan exercises the durable-store battery
 // rather than a protocol run.
 func (p Plan) IsStore() bool { return len(p.StoreKinds) > 0 }
+
+// IsServe reports whether the plan is a multi-tenant hosting run.
+func (p Plan) IsServe() bool { return p.Serve != nil }
 
 // Plans returns the named scenario catalog.
 func Plans() []Plan {
@@ -124,6 +134,18 @@ func Plans() []Plan {
 			StoreKinds:   []string{"kv", "search", "embdb"},
 			StoreStride:  7,
 			RestartShard: -1,
+		},
+		{
+			Name:         "serve-quick",
+			Description:  "hosting smoke: 120 tenants under open-loop load, deterministic decision stream",
+			RestartShard: -1,
+			Serve:        &tenant.ServeConfig{Tenants: 120, Arrivals: 1500, RatePerSec: 4000, Seed: 901},
+		},
+		{
+			Name:         "serve-1k",
+			Description:  "hosting density: 1000 tenants on one daemon, RAM pinned under the arena by LRU eviction",
+			RestartShard: -1,
+			Serve:        &tenant.ServeConfig{Tenants: 1000, Arrivals: 6000, RatePerSec: 2000, Seed: 902},
 		},
 	}
 }

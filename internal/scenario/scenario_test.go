@@ -30,6 +30,12 @@ func TestCatalog(t *testing.T) {
 			}
 			continue
 		}
+		if p.IsServe() {
+			if p.Serve.Tenants < 1 || p.Serve.Arrivals < 1 || p.Serve.Seed == 0 {
+				t.Fatalf("%s: incomplete hosting plan: %+v", p.Name, p.Serve)
+			}
+			continue
+		}
 		if p.Tokens < 1 || p.TuplesEach < 1 || p.Shards < 1 || p.ChunkSize < 1 {
 			t.Fatalf("%s: incomplete protocol plan: %+v", p.Name, p)
 		}
@@ -37,7 +43,7 @@ func TestCatalog(t *testing.T) {
 			t.Fatalf("%s: fault plan without retry budget", p.Name)
 		}
 	}
-	for _, want := range []string{"clean-64", "lossy-256", "restart-64", "lossy-1k", "store-sweep"} {
+	for _, want := range []string{"clean-64", "lossy-256", "restart-64", "lossy-1k", "store-sweep", "serve-quick", "serve-1k"} {
 		if !seen[want] {
 			t.Fatalf("catalog lost plan %q", want)
 		}
@@ -155,6 +161,33 @@ func TestRunStorePlanInProcess(t *testing.T) {
 	}
 	if !rep.OK {
 		t.Fatalf("store plan failed: %s", rep.Failure)
+	}
+}
+
+// Hosting plans run inline through the same Run entry, and their
+// verdict enforces the serve invariants (guard coverage, RAM budget).
+func TestRunServePlanInProcess(t *testing.T) {
+	for _, name := range []string{"serve-quick", "serve-1k"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, _ := ByName(name)
+			if testing.Short() && p.Serve.Tenants > 200 {
+				t.Skip("density plan skipped in -short mode")
+			}
+			rep, err := Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK {
+				t.Fatalf("serve plan failed: %s (report %+v)", rep.Failure, rep.Hosting)
+			}
+			if rep.Mode != "serve" || rep.Hosting == nil || rep.Hosting.DecisionDigest == "" {
+				t.Fatalf("serve report shape: %+v", rep)
+			}
+			if len(rep.Obs) == 0 {
+				t.Fatal("serve report is missing the obs snapshot")
+			}
+		})
 	}
 }
 

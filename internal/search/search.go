@@ -134,6 +134,15 @@ func NewEngine(alloc *flash.Allocator, arena *mcu.Arena, nbuckets int) (*Engine,
 	}, nil
 }
 
+// Detach releases the engine's RAM reservation without touching its
+// flash-resident state: the durable image stays exactly as the last Sync
+// left it and can be reconstructed with Reopen over logstore.Recover.
+// The engine is unusable afterwards. This is the evict-to-flash half of
+// the tenant lifecycle; Close, by contrast, also frees the flash blocks.
+func (e *Engine) Detach() {
+	e.bufRes.Release()
+}
+
 // Close releases the engine's RAM reservation and frees its flash blocks.
 func (e *Engine) Close() error {
 	e.bufRes.Release()

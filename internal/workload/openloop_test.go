@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	cfg := OpenLoopConfig{Tenants: 64, RatePerSec: 5000, Arrivals: 2000, Seed: 7, ZipfS: 1.1, DenyFrac: 0.05}
+	g1, err := NewOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		a1, ok1 := g1.Next()
+		a2, ok2 := g2.Next()
+		if ok1 != ok2 {
+			t.Fatalf("arrival %d: streams diverge in length", i)
+		}
+		if !ok1 {
+			if i != cfg.Arrivals {
+				t.Fatalf("stream ended after %d arrivals, want %d", i, cfg.Arrivals)
+			}
+			break
+		}
+		if a1 != a2 {
+			t.Fatalf("arrival %d: %+v vs %+v", i, a1, a2)
+		}
+	}
+}
+
+func TestOpenLoopRateAndOrder(t *testing.T) {
+	cfg := OpenLoopConfig{Tenants: 32, RatePerSec: 1000, Arrivals: 20000, Seed: 3}
+	g, err := NewOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last, lastAt int64
+	denied := 0
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		if a.AtNS < lastAt {
+			t.Fatalf("arrival times regress: %d after %d", a.AtNS, lastAt)
+		}
+		if a.Tenant < 0 || a.Tenant >= cfg.Tenants {
+			t.Fatalf("tenant %d out of range", a.Tenant)
+		}
+		if a.Purpose == PurposeDenied {
+			denied++
+		}
+		lastAt = a.AtNS
+		last = a.AtNS
+	}
+	if denied != 0 {
+		t.Fatalf("deny fraction 0 produced %d denied arrivals", denied)
+	}
+	// 20000 arrivals at 1000/s should span ~20s of virtual time; the
+	// exponential sum concentrates tightly at this n.
+	gotRate := float64(cfg.Arrivals) / (float64(last) / 1e9)
+	if math.Abs(gotRate-cfg.RatePerSec)/cfg.RatePerSec > 0.05 {
+		t.Fatalf("achieved rate %.1f/s, want within 5%% of %.1f/s", gotRate, cfg.RatePerSec)
+	}
+}
+
+func TestOpenLoopSkewAndDeny(t *testing.T) {
+	cfg := OpenLoopConfig{Tenants: 100, RatePerSec: 1000, Arrivals: 10000, Seed: 11, ZipfS: 1.3, DenyFrac: 0.2}
+	g, err := NewOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.Tenants)
+	denied := 0
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[a.Tenant]++
+		if a.Purpose == PurposeDenied {
+			denied++
+		}
+	}
+	// Zipf: tenant 0 must dominate any mid-rank tenant.
+	if counts[0] < 10*counts[50] {
+		t.Fatalf("no skew: tenant 0 = %d, tenant 50 = %d", counts[0], counts[50])
+	}
+	frac := float64(denied) / float64(cfg.Arrivals)
+	if math.Abs(frac-cfg.DenyFrac) > 0.03 {
+		t.Fatalf("denied fraction %.3f, want ~%.2f", frac, cfg.DenyFrac)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	bad := []OpenLoopConfig{
+		{Tenants: 0, RatePerSec: 1, Arrivals: 1},
+		{Tenants: 1, RatePerSec: 0, Arrivals: 1},
+		{Tenants: 1, RatePerSec: 1, Arrivals: 0},
+		{Tenants: 1, RatePerSec: 1, Arrivals: 1, DenyFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewOpenLoop(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
