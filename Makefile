@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci build test vet race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix crash-matrix-ci scenario-ci serve-ci bench-part3 bench-snapshot bench-snapshot-ci
+.PHONY: ci build test vet race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix crash-matrix-ci scenario-ci serve-ci telemetry-ci bench-part3 bench-snapshot bench-snapshot-ci
 
 # Where `make bench-snapshot` writes the perf snapshot. Committed per PR
 # (BENCH_PR<n>.json) so performance trajectories stay diffable.
@@ -105,6 +105,19 @@ serve-ci:
 	$(GO) test ./cmd/pdsd -run '^TestServe(Subcommand|Plan)$$' -count=1 -timeout 120s
 	$(GO) run ./cmd/pdsbench -exp E22 -quick
 
+# Live telemetry gate (DESIGN §14): pdsd serve boots with -http on
+# loopback, the e2e test scrapes /metrics and /healthz and asserts
+# well-formed exposition (burn-rate, heavy-hitter and flash-wear series
+# present) while the windowed-snapshot digest stays byte-identical with
+# an unscraped same-seed run; the fleet coordinator's merged scrape runs
+# the same way over real shard processes; and the race detector hammers
+# concurrent scrape-during-serve plus the window/exposition layer.
+telemetry-ci:
+	$(GO) test ./cmd/pdsd -run '^Test(Serve|Fleet)HTTPTelemetry$$' -count=1 -timeout 180s
+	$(GO) test ./cmd/pdsctl -run '^Test(RenderTop|TopMain)' -count=1
+	$(GO) test -race ./internal/tenant -run '^TestServeObservedConcurrentScrape$$' -count=1 -timeout 120s
+	$(GO) test -race ./internal/obs -run 'Window|Prom' -count=1 -timeout 120s
+
 # Coverage floor for the crash-recovery plane: the commit/replay path
 # (logstore), the crash plane (flash) and the battery driver must not
 # silently lose their test coverage.
@@ -120,7 +133,7 @@ cover-recovery:
 	check ./internal/crashharness 75; \
 	check ./internal/flash 75
 
-ci: vet build test race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix-ci scenario-ci serve-ci bench-snapshot-ci
+ci: vet build test race fuzz cover cover-recovery lint-determinism smoke-metrics smoke-trace perf-regression crash-matrix-ci scenario-ci serve-ci telemetry-ci bench-snapshot-ci
 
 # Serial-vs-parallel perf trajectory for the Part III protocols.
 bench-part3:

@@ -28,7 +28,13 @@ func main() {
 // against the given streams, and returns the process exit code. Command
 // errors print to stderr without aborting the session (matching the
 // historical behaviour); only flag-parse failures exit nonzero.
+//
+// The top subcommand (`pdsctl top -url ...`) bypasses the shell: it is
+// a client of a live pdsd telemetry endpoint, not of the in-process PDS.
 func cliMain(args []string, stdin io.Reader, stdout, stderr io.Writer, interactive bool) int {
+	if len(args) > 0 && args[0] == "top" {
+		return topMain(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("pdsctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	script := fs.String("c", "", "semicolon-separated commands to run and exit")

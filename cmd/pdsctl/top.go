@@ -1,0 +1,159 @@
+// pdsctl top: a periodic text view of a live pdsd serve run, fed by the
+// daemon's /telemetry endpoint (DESIGN §14). Each refresh prints the
+// run status, windowed admission rates, per-class latency and SLO burn,
+// the RAM envelope, flash wear, the heavy-hitter tenants, and any fired
+// alerts — the operator's at-a-glance answer to "what is the host doing
+// right now".
+//
+//	pdsctl top -url http://127.0.0.1:PORT            # refresh until ^C
+//	pdsctl top -url http://127.0.0.1:PORT -n 1       # one shot (scripts)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"pds/internal/flash"
+	"pds/internal/obs"
+	"pds/internal/tenant"
+)
+
+// topMain drives the top view: fetch /telemetry from the daemon, render,
+// sleep, repeat. n bounds the number of refreshes (0 = until the fetch
+// fails or the stream ends).
+func topMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdsctl top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url      = fs.String("url", "http://127.0.0.1:9173", "pdsd telemetry base URL")
+		n        = fs.Int("n", 0, "number of refreshes (0 = until the daemon goes away)")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := strings.TrimRight(*url, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		view, err := fetchTelemetry(client, base+"/telemetry")
+		if err != nil {
+			fmt.Fprintf(stderr, "pdsctl top: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, renderTop(view))
+		if !view.Status.Running && i > 0 {
+			break
+		}
+	}
+	return 0
+}
+
+func fetchTelemetry(client *http.Client, url string) (tenant.TelemetryView, error) {
+	var view tenant.TelemetryView
+	resp, err := client.Get(url)
+	if err != nil {
+		return view, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return view, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return view, fmt.Errorf("%s: %w", url, err)
+	}
+	return view, nil
+}
+
+// renderTop formats one telemetry view as the top screen. Pure function
+// of the view, so the renderer is testable without a daemon.
+func renderTop(v tenant.TelemetryView) string {
+	var b strings.Builder
+	st := v.Status
+	state := "done"
+	if st.Running {
+		state = "running"
+	}
+	if st.Failure != "" {
+		state = "FAILED: " + st.Failure
+	}
+	fmt.Fprintf(&b, "pdsd %s  plan=%s  tenants=%d  arrivals %d/%d  t=%s  window digest %.12s\n",
+		state, orDash(st.Plan), st.Tenants, st.Done, st.Arrivals,
+		time.Duration(st.NowNS), orDash(v.WindowDigest))
+
+	fmt.Fprintf(&b, "rates/s  admit %s  queue %s  shed %s  deny %s  evict %s  reopen %s\n",
+		perSec(v.Window, tenant.MetricRequests, "decision", "admit"),
+		perSec(v.Window, tenant.MetricRequests, "decision", "queued"),
+		perSec(v.Window, tenant.MetricRequests, "decision", "shed"),
+		perSec(v.Window, tenant.MetricRequests, "decision", "denied"),
+		perSecPlain(v.Window, tenant.MetricEvictions),
+		perSecPlain(v.Window, tenant.MetricReopens))
+
+	fmt.Fprintf(&b, "ram  high-water %d / budget %d   flash wear max %d mean %dm\n",
+		v.Window.Gauge(tenant.MetricRAMHighWater),
+		v.Window.Gauge(tenant.MetricRAMBudget),
+		v.Window.Gauge(flash.MetricWearMax),
+		v.Window.Gauge(flash.MetricWearMeanMilli))
+
+	for _, cb := range v.Burn {
+		p99 := "-"
+		if q, ok := v.Window.Quantile(obs.Name(tenant.MetricLatency, "class", cb.Class)); ok {
+			p99 = time.Duration(q.P99).String()
+		}
+		fmt.Fprintf(&b, "class %-8s p99 %-10s burn %5dm  bad %d/%d  alerts %d\n",
+			cb.Class, p99, cb.BurnMilli, cb.Bad, cb.Total, cb.Alerts)
+	}
+
+	hot := func(label string, hs []tenant.HotTenant, unit string) {
+		if len(hs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "hot %-8s", label)
+		for i, h := range hs {
+			if i >= 4 {
+				break
+			}
+			fmt.Fprintf(&b, "  %s %d%s", h.Tenant, h.Value, unit)
+		}
+		b.WriteByte('\n')
+	}
+	hot("service", v.Hot.ServiceNS, "ns")
+	hot("sheds", v.Hot.Sheds, "")
+	hot("reopen", v.Hot.ReopenIO, "io")
+
+	if len(v.Alerts) > 0 {
+		last := v.Alerts[len(v.Alerts)-1]
+		fmt.Fprintf(&b, "alerts %d  last %s = %dm at %s\n",
+			len(v.Alerts), last.Name, last.ValueMilli, time.Duration(last.AtNS))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// perSec renders a labeled counter's windowed rate as events/second.
+func perSec(w obs.WindowView, family string, labels ...string) string {
+	return fmtRate(w.Rate(obs.Name(family, labels...)).RateMilli)
+}
+
+func perSecPlain(w obs.WindowView, family string) string {
+	return fmtRate(w.Rate(family).RateMilli)
+}
+
+// fmtRate converts milli-events/second to a compact events/second string.
+func fmtRate(milli int64) string {
+	return fmt.Sprintf("%d.%03d", milli/1000, milli%1000)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

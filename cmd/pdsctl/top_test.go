@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pds/internal/obs"
+	"pds/internal/tenant"
+)
+
+// fakeView is a telemetry view with every section populated — what a
+// mid-run daemon would serve.
+func fakeView() tenant.TelemetryView {
+	return tenant.TelemetryView{
+		Status: tenant.ServeStatus{
+			Plan: "serve", Tenants: 100, Arrivals: 400, Done: 250,
+			NowNS: 125_000_000, Running: true,
+		},
+		Window: obs.WindowView{
+			FromNS: 0, ToNS: 125_000_000, Samples: 12, Held: 12,
+			Rates: []obs.WindowRate{
+				{Name: obs.Name(tenant.MetricRequests, "decision", "admit"), Delta: 200, RateMilli: 1_600_000},
+				{Name: obs.Name(tenant.MetricRequests, "decision", "shed"), Delta: 10, RateMilli: 80_000},
+				{Name: tenant.MetricEvictions, Delta: 40, RateMilli: 320_000},
+			},
+			Gauges: []obs.GaugePoint{
+				{Name: tenant.MetricRAMHighWater, Value: 900_000},
+				{Name: tenant.MetricRAMBudget, Value: 1_000_000},
+				{Name: "flash_wear_max", Value: 7},
+				{Name: "flash_wear_mean_milli", Value: 3500},
+			},
+			Quants: []obs.WindowQuantile{
+				{Name: obs.Name(tenant.MetricLatency, "class", "kv"), Count: 200, P50: 1 << 14, P99: 1000 << 14},
+			},
+		},
+		Hot: tenant.AttributionView{
+			ServiceNS: []tenant.HotTenant{{Tenant: "tenant-0001", Value: 9_000_000}},
+			Sheds:     []tenant.HotTenant{{Tenant: "tenant-0002", Value: 4}},
+		},
+		Burn: []tenant.ClassBurn{
+			{Class: "kv", Bad: 10, Total: 210, BurnMilli: 4761, Alerts: 1},
+		},
+		Alerts: []obs.AlertRecord{
+			{AtNS: 100_000_000, Name: obs.Name("slo_burn", "class", "kv"), ValueMilli: 4761},
+		},
+		Samples:      12,
+		WindowDigest: "deadbeefdeadbeefdeadbeef",
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	out := renderTop(fakeView())
+	for _, want := range []string{
+		"pdsd running",
+		"plan=serve",
+		"arrivals 250/400",
+		"admit 1600.000",
+		"shed 80.000",
+		"evict 320.000",
+		"high-water 900000 / budget 1000000",
+		"wear max 7 mean 3500m",
+		"class kv",
+		"burn  4761m",
+		"hot service   tenant-0001 9000000ns",
+		"hot sheds     tenant-0002 4",
+		"alerts 1",
+		"deadbeefdead", // digest prefix
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// topMain against a fake daemon: -n bounds the refreshes, the renderer
+// consumes the real JSON wire format, and a dead daemon exits nonzero.
+func TestTopMainAgainstFakeDaemon(t *testing.T) {
+	view := fakeView()
+	view.Status.Running = false
+	view.Status.OK = true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/telemetry" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(view)
+		w.Write(b)
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := topMain([]string{"-url", srv.URL, "-n", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("topMain exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "pdsd done") {
+		t.Fatalf("top did not render the final state:\n%s", stdout.String())
+	}
+
+	srv.Close()
+	stdout.Reset()
+	stderr.Reset()
+	if code := topMain([]string{"-url", srv.URL, "-n", "1"}, &stdout, &stderr); code == 0 {
+		t.Fatal("topMain succeeded against a dead daemon")
+	}
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"pds/internal/tenant"
+)
+
+// startWithURL execs pdsd with args, scans stderr for the announced
+// telemetry URL, and keeps draining stderr in the background. The caller
+// reaps the process via the returned channel (stdout bytes, exit error).
+func startWithURL(t *testing.T, args ...string) (url string, done chan struct {
+	Stdout []byte
+	Err    error
+}) {
+	t.Helper()
+	cmd := exec.Command(pdsdBin(t), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, after, ok := strings.Cut(line, "telemetry on "); ok {
+				select {
+				case urlCh <- strings.TrimSpace(after):
+				default:
+				}
+			}
+		}
+	}()
+	done = make(chan struct {
+		Stdout []byte
+		Err    error
+	}, 1)
+	go func() {
+		b, _ := io.ReadAll(stdout)
+		err := cmd.Wait()
+		done <- struct {
+			Stdout []byte
+			Err    error
+		}{b, err}
+	}()
+	select {
+	case url = <-urlCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pdsd never announced its telemetry URL")
+	}
+	return url, done
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode, b
+}
+
+// The serve subcommand with a live HTTP endpoint: the scrape returns
+// valid exposition including the burn-rate, heavy-hitter and flash-wear
+// series, /healthz and /telemetry answer, and the windowed digest is
+// byte-identical with an unscraped same-seed run — observation never
+// perturbs the run.
+func TestServeHTTPTelemetry(t *testing.T) {
+	seedArgs := []string{"serve", "-tenants", "120", "-arrivals", "900", "-rate", "4000", "-seed", "17"}
+
+	// Reference run: same seed, no HTTP, no pacing.
+	refCmd := exec.Command(pdsdBin(t), seedArgs...)
+	refOut, err := refCmd.Output()
+	if err != nil {
+		t.Fatalf("reference serve: %v", err)
+	}
+	var ref Output
+	if err := json.Unmarshal(refOut, &ref); err != nil {
+		t.Fatalf("reference serve report: %v\n%s", err, refOut)
+	}
+	if ref.Report == nil || ref.Report.Hosting == nil || ref.Report.Hosting.WindowDigest == "" {
+		t.Fatalf("reference run has no window digest: %+v", ref)
+	}
+
+	// Observed run: HTTP bound on a free port, endpoint lingering after
+	// the run so the scrape below always lands on the final state.
+	url, done := startWithURL(t, append(seedArgs, "-http", "127.0.0.1:0", "-linger", "4s")...)
+
+	// Wait for the run to finish (status stops running), then scrape.
+	deadline := time.Now().Add(30 * time.Second)
+	var view tenant.TelemetryView
+	for {
+		code, body := httpGet(t, url+"/telemetry")
+		if code != http.StatusOK {
+			t.Fatalf("/telemetry status %d", code)
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatalf("/telemetry not JSON: %v\n%s", err, body)
+		}
+		if !view.Status.Running && view.Status.Done > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never finished: %+v", view.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !view.Status.OK || view.Samples == 0 || view.WindowDigest == "" {
+		t.Fatalf("final telemetry view: %+v", view.Status)
+	}
+
+	code, metrics := httpGet(t, url+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, series := range []string{
+		"tenant_requests_total{",
+		"tenant_class_requests_total{",
+		"tenant_burn_milli{",
+		"tenant_hot_service_ns{",
+		"flash_wear_max",
+		"tenant_ram_high_water_bytes",
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	// Well-formed exposition: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(string(metrics), "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i <= 0 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	code, hz := httpGet(t, url+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d: %s", code, hz)
+	}
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.Unmarshal(hz, &health); err != nil || !health.OK {
+		t.Fatalf("/healthz = %s (%v)", hz, err)
+	}
+
+	// Reap the lingering process and compare digests.
+	var res struct {
+		Stdout []byte
+		Err    error
+	}
+	select {
+	case res = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pdsd serve never exited")
+	}
+	if res.Err != nil {
+		t.Fatalf("pdsd serve exit: %v\n%s", res.Err, res.Stdout)
+	}
+	var obsd Output
+	if err := json.Unmarshal(res.Stdout, &obsd); err != nil {
+		t.Fatalf("observed serve report: %v\n%s", err, res.Stdout)
+	}
+	h := obsd.Report.Hosting
+	if h.WindowDigest != ref.Report.Hosting.WindowDigest {
+		t.Fatalf("scraped run diverged from reference:\n  %s\n  %s",
+			h.WindowDigest, ref.Report.Hosting.WindowDigest)
+	}
+	if h.WindowSamples != ref.Report.Hosting.WindowSamples {
+		t.Fatalf("window samples %d vs %d", h.WindowSamples, ref.Report.Hosting.WindowSamples)
+	}
+	if view.WindowDigest != h.WindowDigest {
+		t.Fatalf("live view digest %s != report digest %s", view.WindowDigest, h.WindowDigest)
+	}
+}
+
+// The coordinator's fleet endpoint: /metrics merges live shard scrapes
+// (with per-shard liveness gauges), /healthz reports per-shard pings,
+// and the run itself is untouched.
+func TestFleetHTTPTelemetry(t *testing.T) {
+	url, done := startWithURL(t, "-plan", "clean-64", "-http", "127.0.0.1:0", "-linger", "3s")
+
+	code, metrics := httpGet(t, url+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(string(metrics), MetricShardUp) {
+		t.Fatalf("/metrics missing %s:\n%s", MetricShardUp, metrics)
+	}
+
+	code, hz := httpGet(t, url+"/healthz")
+	var health struct {
+		OK     bool `json:"ok"`
+		Shards []struct {
+			Shard int  `json:"shard"`
+			Up    bool `json:"up"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(hz, &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, hz)
+	}
+	if len(health.Shards) != 1 {
+		t.Fatalf("healthz shards = %+v", health.Shards)
+	}
+	if code != http.StatusOK && code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d", code)
+	}
+
+	var res struct {
+		Stdout []byte
+		Err    error
+	}
+	select {
+	case res = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("pdsd never exited")
+	}
+	if res.Err != nil {
+		t.Fatalf("pdsd exit: %v\n%s", res.Err, res.Stdout)
+	}
+	var out Output
+	if err := json.Unmarshal(res.Stdout, &out); err != nil {
+		t.Fatalf("report: %v\n%s", err, res.Stdout)
+	}
+	if !out.OK || out.Report == nil || !out.Report.Exact {
+		t.Fatalf("observed fleet run not exact: %+v", out)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"time"
 
+	"pds/internal/obs"
 	"pds/internal/scenario"
 	"pds/internal/tenant"
 	"pds/internal/transport"
@@ -54,6 +55,8 @@ func main() {
 		exitAfter = flag.Int("exit-after", 0, "internal: SSI exits after ingesting this many uploads (0 = never)")
 		kind      = flag.String("kind", "", "internal: durable engine kind for the store role")
 		stride    = flag.Int("stride", 7, "internal: crash-sweep stride for the store role")
+		httpAddr  = flag.String("http", "", "coordinator: serve fleet telemetry over HTTP at this address")
+		linger    = flag.Duration("linger", 0, "coordinator: keep the HTTP endpoint up this long after the run")
 	)
 	flag.Parse()
 
@@ -77,7 +80,7 @@ func main() {
 	}
 	switch *role {
 	case "":
-		os.Exit(coordinate(p, *outDir))
+		os.Exit(coordinate(p, *outDir, *httpAddr, *linger))
 	case "ssi":
 		os.Exit(runSSI(*connect, p, *shard, *exitAfter))
 	case "querier":
@@ -192,6 +195,10 @@ func runServe(args []string) int {
 		queue    = fs.Int("queue", 0, "pending queue depth per class (0 = default)")
 		quota    = fs.Int("quota", 0, "per-tenant flash page quota (0 = default)")
 		outDir   = fs.String("out", "", "directory for obs snapshot and trace exports")
+		httpAddr = fs.String("http", "", "serve live telemetry over HTTP at this address (e.g. 127.0.0.1:0)")
+		pace     = fs.Float64("pace", 0, "wall seconds per virtual second (0 = run wall-fast)")
+		linger   = fs.Duration("linger", 0, "keep the HTTP endpoint up this long after the run")
+		window   = fs.Duration("window", 0, "telemetry sampling interval in virtual time (0 = default 250ms)")
 	)
 	fs.Parse(args)
 	cfg := tenant.ServeConfig{
@@ -202,6 +209,7 @@ func runServe(args []string) int {
 		ZipfS:      *zipf,
 		DenyFrac:   *deny,
 		Host:       tenant.HostConfig{ArenaBytes: *arena, Slots: *slots, QueueDepth: *queue, PageQuota: *quota},
+		WindowNS:   int64(*window),
 	}
 	if cfg.ZipfS <= 1 {
 		cfg.ZipfS = -1
@@ -209,7 +217,21 @@ func runServe(args []string) int {
 	if cfg.DenyFrac == 0 {
 		cfg.DenyFrac = -1
 	}
-	rep := scenario.RunServe("serve", cfg)
+	reg := obs.NewRegistry()
+	tel := tenant.NewTelemetry(cfg, reg)
+	if *httpAddr != "" {
+		srv, _, err := startHTTP(*httpAddr, serveMux(tel))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdsd serve: http: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+	}
+	rep := scenario.RunServeObserved("serve", cfg, reg, tel, pacer(*pace))
+	if *httpAddr != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "pdsd serve: lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
 	out := Output{Plan: "serve", OK: rep.OK, Report: &rep}
 	if *outDir != "" {
 		if err := writeExports(*outDir, rep); err != nil {
@@ -249,7 +271,7 @@ func coordinateServe(p scenario.Plan, outDir string) int {
 	return 0
 }
 
-func coordinate(p scenario.Plan, outDir string) int {
+func coordinate(p scenario.Plan, outDir, httpAddr string, linger time.Duration) int {
 	if p.IsStore() {
 		return coordinateStore(p)
 	}
@@ -267,6 +289,27 @@ func coordinate(p scenario.Plan, outDir string) int {
 		return 1
 	}
 	defer sw.Close()
+
+	// The fleet scrape: a dedicated control connection pulls live shard
+	// snapshots on every HTTP request, independent of the querier's run.
+	if httpAddr != "" {
+		conn, err := transport.Dial(sw.Addr(), "telemetry")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdsd: telemetry dial: %v\n", err)
+			return 1
+		}
+		defer conn.Close()
+		ft := &fleetTelemetry{infra: scenario.NewRemoteInfra(conn, p.Shards)}
+		srv, _, err := startHTTP(httpAddr, ft.mux())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdsd: http: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		if linger > 0 {
+			defer time.Sleep(linger)
+		}
+	}
 
 	ssiArgs := func(i, exitAfter int) []string {
 		return []string{"-role", "ssi", "-connect", sw.Addr(), "-plan", p.Name,

@@ -32,7 +32,23 @@ const (
 	MetricPageReads   = "flash_page_reads_total"
 	MetricPageWrites  = "flash_page_writes_total"
 	MetricBlockErases = "flash_block_erases_total"
+	// Wear/GC health (the ROADMAP wear-leveling item lands against this
+	// baseline): a spread histogram fed at erase time with the erased
+	// block's new wear count, plus gauges the hosting plane refreshes at
+	// telemetry-sample time from WearSummary.
+	MetricWearSpread    = "flash_wear"
+	MetricWearMax       = "flash_wear_max"
+	MetricWearMeanMilli = "flash_wear_mean_milli"
 )
+
+// WearBounds is the bucket layout for the wear-spread histogram:
+// doubling erase-count bounds up to the ~100k cycles where SLC NAND
+// blocks die. Each erase observes the block's new count, so the
+// histogram shows how erase activity distributes across wear levels —
+// a flat spread means leveling works, a spike means hot blocks.
+func WearBounds() []int64 {
+	return []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 131072}
+}
 
 // Geometry describes the physical layout of a chip.
 type Geometry struct {
@@ -158,6 +174,7 @@ type Chip struct {
 	obsReads  *obs.Counter
 	obsWrites *obs.Counter
 	obsErases *obs.Counter
+	obsWear   *obs.Histogram
 }
 
 // NewChip allocates a chip with the given geometry. It panics if the
@@ -202,12 +219,13 @@ func (c *Chip) SetObserver(reg *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if reg == nil {
-		c.obsReads, c.obsWrites, c.obsErases = nil, nil, nil
+		c.obsReads, c.obsWrites, c.obsErases, c.obsWear = nil, nil, nil, nil
 		return
 	}
 	c.obsReads = reg.Counter(MetricPageReads)
 	c.obsWrites = reg.Counter(MetricPageWrites)
 	c.obsErases = reg.Counter(MetricBlockErases)
+	c.obsWear = reg.Histogram(MetricWearSpread, WearBounds())
 }
 
 // Stats returns a snapshot of the operation counters.
@@ -368,6 +386,9 @@ func (c *Chip) EraseBlock(b int) error {
 	if c.obsErases != nil {
 		c.obsErases.Inc()
 	}
+	if c.obsWear != nil {
+		c.obsWear.Observe(c.wear[b])
+	}
 	return nil
 }
 
@@ -379,4 +400,48 @@ func (c *Chip) Wear(b int) (int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.wear[b], nil
+}
+
+// WearStats is the chip-level wear summary: the hottest block's erase
+// count, the total across all blocks, and the block count (so callers
+// aggregating many chips can compute a fleet mean exactly).
+type WearStats struct {
+	Max    int64
+	Total  int64
+	Blocks int
+}
+
+// Add returns the element-wise aggregate of two summaries.
+func (w WearStats) Add(o WearStats) WearStats {
+	if o.Max > w.Max {
+		w.Max = o.Max
+	}
+	w.Total += o.Total
+	w.Blocks += o.Blocks
+	return w
+}
+
+// MeanMilli returns the mean erase count ×1000, kept integral so gauges
+// derived from it stay deterministic.
+func (w WearStats) MeanMilli() int64 {
+	if w.Blocks == 0 {
+		return 0
+	}
+	return w.Total * 1000 / int64(w.Blocks)
+}
+
+// WearSummary scans the per-block erase counters into a WearStats. One
+// pass under the chip mutex — cheap enough for telemetry-sample
+// boundaries, too hot for per-request paths.
+func (c *Chip) WearSummary() WearStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := WearStats{Blocks: c.geo.Blocks}
+	for _, n := range c.wear {
+		w.Total += n
+		if n > w.Max {
+			w.Max = n
+		}
+	}
+	return w
 }

@@ -1,0 +1,77 @@
+package flash
+
+import (
+	"testing"
+
+	"pds/internal/obs"
+)
+
+// eraseN writes one page into block b and erases it n times.
+func eraseN(t *testing.T, c *Chip, b, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := c.WritePage(b*c.Geometry().PagesPerBlock, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EraseBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWearSummary(t *testing.T) {
+	c := NewChip(SmallGeometry())
+	w := c.WearSummary()
+	if w.Max != 0 || w.Total != 0 || w.Blocks != SmallGeometry().Blocks {
+		t.Fatalf("fresh chip wear = %+v", w)
+	}
+	eraseN(t, c, 0, 5)
+	eraseN(t, c, 1, 2)
+	w = c.WearSummary()
+	if w.Max != 5 || w.Total != 7 {
+		t.Fatalf("wear = %+v, want max 5 total 7", w)
+	}
+	// 7 erases over 64 blocks → mean 0.109... → 109 milli.
+	if got := w.MeanMilli(); got != 7*1000/64 {
+		t.Errorf("MeanMilli = %d, want %d", got, 7*1000/64)
+	}
+	// Aggregating two chips keeps the fleet mean exact.
+	c2 := NewChip(SmallGeometry())
+	eraseN(t, c2, 3, 9)
+	sum := w.Add(c2.WearSummary())
+	if sum.Max != 9 || sum.Total != 16 || sum.Blocks != 128 {
+		t.Fatalf("aggregated wear = %+v", sum)
+	}
+	if got := sum.MeanMilli(); got != 16*1000/128 {
+		t.Errorf("fleet MeanMilli = %d", got)
+	}
+}
+
+func TestWearStatsMeanMilliEmpty(t *testing.T) {
+	if got := (WearStats{}).MeanMilli(); got != 0 {
+		t.Fatalf("zero-block mean = %d, want 0", got)
+	}
+}
+
+func TestWearSpreadHistogram(t *testing.T) {
+	c := NewChip(SmallGeometry())
+	reg := obs.NewRegistry()
+	c.SetObserver(reg)
+	// Block 0 erased 3 times: observations 1, 2, 3. Block 1 once: 1.
+	eraseN(t, c, 0, 3)
+	eraseN(t, c, 1, 1)
+	h := reg.Histogram(MetricWearSpread, WearBounds())
+	if got := h.Count(); got != 4 {
+		t.Fatalf("wear observations = %d, want 4 (one per erase)", got)
+	}
+	if got := h.Sum(); got != 1+2+3+1 {
+		t.Fatalf("wear sum = %d, want 7", got)
+	}
+	// The spread's tail shows the hottest block's level.
+	if got, ok := h.Quantile(1.0); !ok || got != 4 {
+		t.Fatalf("wear p100 = %d, %v; want bucket bound 4", got, ok)
+	}
+	if err := obs.ValidSeriesName(MetricWearSpread); err != nil {
+		t.Error(err)
+	}
+}

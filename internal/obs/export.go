@@ -37,12 +37,15 @@ type HistogramPoint struct {
 }
 
 // Snapshot is a point-in-time, fully ordered export of a registry:
-// every series sorted by canonical name, spans by ID. Identical runs
-// produce identical snapshots — the golden tests depend on it.
+// every series sorted by canonical name, spans by ID, alerts by firing
+// time then name. Identical runs produce identical snapshots — the
+// golden tests depend on it. (Alerts is omitempty so registries that
+// never fire one keep their pre-alert byte-identical encodings.)
 type Snapshot struct {
 	Counters   []CounterPoint   `json:"counters"`
 	Gauges     []GaugePoint     `json:"gauges"`
 	Histograms []HistogramPoint `json:"histograms"`
+	Alerts     []AlertRecord    `json:"alerts,omitempty"`
 	Spans      []SpanRecord     `json:"spans"`
 }
 
@@ -81,6 +84,16 @@ func (r *Registry) Snapshot() Snapshot {
 			snap.Histograms = append(snap.Histograms, hp)
 		}
 	}
+	r.mu.Lock()
+	snap.Alerts = append([]AlertRecord(nil), r.alerts...)
+	r.mu.Unlock()
+	sort.Slice(snap.Alerts, func(i, j int) bool {
+		a, b := snap.Alerts[i], snap.Alerts[j]
+		if a.AtNS != b.AtNS {
+			return a.AtNS < b.AtNS
+		}
+		return a.Name < b.Name
+	})
 	snap.Spans = r.tracer.snapshot()
 	if snap.Spans == nil {
 		snap.Spans = []SpanRecord{}
@@ -102,32 +115,45 @@ func (s Snapshot) JSON() ([]byte, error) {
 // JSON exports the registry as a deterministic JSON snapshot.
 func (r *Registry) JSON() ([]byte, error) { return r.Snapshot().JSON() }
 
-// Prometheus renders the snapshot in the Prometheus text exposition style.
-// Spans are not representable there and are omitted.
+// ParseSnapshot decodes a snapshot previously rendered by JSON — the
+// wire inverse a fleet coordinator uses to fold remote shard snapshots
+// back into a registry via MergeSnapshot.
+func ParseSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parse snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// style. Spans are not representable there and are omitted. Every line
+// is rendered through the sanitizer: family and label-key characters
+// outside the exposition grammar become '_' (a leading digit gains a
+// '_' prefix) and label values are escaped, so a hostile or sloppy
+// series name can never corrupt the scrape output.
 func (s Snapshot) Prometheus() string {
 	var b strings.Builder
 	seen := map[string]bool{}
-	typeLine := func(name, kind string) {
-		fam := name
-		if i := strings.IndexByte(fam, '{'); i >= 0 {
-			fam = fam[:i]
-		}
+	typeLine := func(fam, kind string) {
 		if !seen[fam] {
 			seen[fam] = true
 			fmt.Fprintf(&b, "# TYPE %s %s\n", fam, kind)
 		}
 	}
 	for _, c := range s.Counters {
-		typeLine(c.Name, "counter")
-		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+		fam, labels := renderName(c.Name)
+		typeLine(fam, "counter")
+		fmt.Fprintf(&b, "%s%s %d\n", fam, labels, c.Value)
 	}
 	for _, g := range s.Gauges {
-		typeLine(g.Name, "gauge")
-		fmt.Fprintf(&b, "%s %d\n", g.Name, g.Value)
+		fam, labels := renderName(g.Name)
+		typeLine(fam, "gauge")
+		fmt.Fprintf(&b, "%s%s %d\n", fam, labels, g.Value)
 	}
 	for _, h := range s.Histograms {
-		typeLine(h.Name, "histogram")
-		fam, labels := splitName(h.Name)
+		fam, labels := renderName(h.Name)
+		typeLine(fam, "histogram")
 		cum := int64(0)
 		for _, bp := range h.Buckets {
 			cum += bp.Count
@@ -162,4 +188,195 @@ func withLabel(labels, k, v string) string {
 		return "{" + pair + "}"
 	}
 	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// validFamilyName reports whether fam matches the exposition grammar for
+// metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validFamilyName(fam string) bool {
+	if fam == "" {
+		return false
+	}
+	for i, r := range fam {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey reports whether k matches the exposition grammar for
+// label names: [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidSeriesName reports whether a canonical series name renders to the
+// Prometheus exposition format without any sanitization: family and
+// every label key in grammar, label values free of characters that need
+// escaping. The cross-codebase regression test holds every registered
+// name to this.
+func ValidSeriesName(name string) error {
+	fam, block := splitName(name)
+	if !validFamilyName(fam) {
+		return fmt.Errorf("obs: family %q outside exposition grammar", fam)
+	}
+	for _, kv := range parseLabels(block) {
+		if !validLabelKey(kv[0]) {
+			return fmt.Errorf("obs: label key %q outside exposition grammar in %q", kv[0], name)
+		}
+		if strings.ContainsAny(kv[1], "\\\"\n") {
+			return fmt.Errorf("obs: label value %q needs escaping in %q", kv[1], name)
+		}
+	}
+	return nil
+}
+
+// sanitizeFamily coerces an arbitrary family into the exposition
+// grammar: out-of-grammar runes become '_' and a leading digit gains a
+// '_' prefix. Valid names pass through untouched.
+func sanitizeFamily(fam string) string {
+	if validFamilyName(fam) {
+		return fam
+	}
+	var b strings.Builder
+	for i, r := range fam {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// sanitizeLabelKey coerces an arbitrary label key into grammar.
+func sanitizeLabelKey(k string) string {
+	if validLabelKey(k) {
+		return k
+	}
+	var b strings.Builder
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes the three characters the exposition format
+// reserves inside quoted label values.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// parseLabels decodes a canonical {k="v",...} block (as built by Name)
+// into ordered key/value pairs. Best-effort on pathological values: a
+// closing quote is recognized at end of block or where a new k="v" pair
+// follows.
+func parseLabels(block string) [][2]string {
+	if len(block) < 2 || block[0] != '{' || block[len(block)-1] != '}' {
+		return nil
+	}
+	inner := block[1 : len(block)-1]
+	var pairs [][2]string
+	for inner != "" {
+		eq := strings.Index(inner, `="`)
+		if eq < 0 {
+			break
+		}
+		key := inner[:eq]
+		rest := inner[eq+2:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] != '"' {
+				continue
+			}
+			if i == len(rest)-1 {
+				end = i
+				break
+			}
+			if rest[i+1] == ',' && strings.Contains(rest[i+2:], `="`) {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			break
+		}
+		pairs = append(pairs, [2]string{key, rest[:end]})
+		if end+2 <= len(rest) {
+			inner = rest[end+2:]
+		} else {
+			inner = ""
+		}
+	}
+	return pairs
+}
+
+// renderName converts a canonical series name into its exposition form:
+// sanitized family plus a re-rendered label block with sanitized keys
+// and escaped values.
+func renderName(name string) (fam, labels string) {
+	rawFam, block := splitName(name)
+	fam = sanitizeFamily(rawFam)
+	pairs := parseLabels(block)
+	if len(pairs) == 0 {
+		return fam, ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelKey(kv[0]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return fam, b.String()
 }

@@ -112,8 +112,20 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // so the tail quantiles you care about stay finite. ok is false when the
 // histogram is empty or q is out of range.
 func (h *Histogram) Quantile(q float64) (v int64, ok bool) {
-	n := h.n.Load()
-	if n == 0 || q <= 0 || q > 1 {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].v.Load()
+	}
+	return quantileFromBuckets(h.bounds, counts, h.n.Load(), q)
+}
+
+// quantileFromBuckets is the bucket-bound quantile estimator shared by
+// Histogram.Quantile and the windowed quantiles in window.go: counts is
+// one count per bucket (len(bounds)+1, last is overflow) and n the total
+// observations those counts represent. Sharing the estimator keeps
+// lifetime and windowed percentiles semantically identical.
+func quantileFromBuckets(bounds []int64, counts []int64, n int64, q float64) (v int64, ok bool) {
+	if n <= 0 || q <= 0 || q > 1 {
 		return 0, false
 	}
 	// ceil(q*n) without float drift on exact multiples.
@@ -125,20 +137,20 @@ func (h *Histogram) Quantile(q float64) (v int64, ok bool) {
 		rank = 1
 	}
 	var cum int64
-	for i := range h.counts {
-		cum += h.counts[i].v.Load()
+	for i := range counts {
+		cum += counts[i]
 		if cum >= rank {
-			if i < len(h.bounds) {
-				return h.bounds[i], true
+			if i < len(bounds) {
+				return bounds[i], true
 			}
 			break
 		}
 	}
 	// Overflow (or no finite bucket at all): saturate.
-	if len(h.bounds) == 0 {
+	if len(bounds) == 0 {
 		return 0, false
 	}
-	return h.bounds[len(h.bounds)-1], true
+	return bounds[len(bounds)-1], true
 }
 
 // Registry holds one namespace of metrics plus its tracer and simulated
@@ -147,6 +159,7 @@ type Registry struct {
 	mu      sync.Mutex // serializes metric creation, Snapshot and Merge
 	metrics sync.Map   // canonical name -> *Counter | *Gauge | *Histogram
 	names   []string   // creation-ordered canonical names (under mu)
+	alerts  []AlertRecord
 	clock   *SimClock
 	tracer  *Tracer
 }
@@ -271,14 +284,54 @@ func (r *Registry) GaugeValue(family string, labels ...string) int64 {
 	return 0
 }
 
-// Merge folds o's metrics and spans into r: counters and histograms add,
-// gauges take o's latest value, spans append with rebased ids. Used to
-// roll a run-local registry up into a caller-owned one.
+// AlertRecord is one typed alert event: a named condition (canonical
+// series syntax, e.g. obs.Name("slo_burn", "class", "interactive"))
+// that fired at a virtual instant with a millis-scaled value. Alerts
+// ride in snapshots so a fleet merge carries every shard's firings.
+type AlertRecord struct {
+	AtNS       int64  `json:"at_ns"`
+	Name       string `json:"name"`
+	ValueMilli int64  `json:"value_milli"`
+}
+
+// MetricAlerts counts alert firings by family.
+const MetricAlerts = "obs_alerts_total"
+
+// Alert records a typed alert event and bumps the per-family alert
+// counter. family/labels follow the Name convention; valueMilli is the
+// observed magnitude ×1000 (burn rate, ratio, ...) kept integral for
+// determinism.
+func (r *Registry) Alert(atNS int64, valueMilli int64, family string, labels ...string) {
+	name := Name(family, labels...)
+	r.Counter(MetricAlerts, "alert", family).Inc()
+	r.mu.Lock()
+	r.alerts = append(r.alerts, AlertRecord{AtNS: atNS, Name: name, ValueMilli: valueMilli})
+	r.mu.Unlock()
+}
+
+// Alerts returns a copy of the recorded alert events in firing order.
+func (r *Registry) Alerts() []AlertRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]AlertRecord(nil), r.alerts...)
+}
+
+// Merge folds o's metrics, alerts and spans into r: counters and
+// histograms add, gauges take o's latest value, alerts and spans append
+// (spans with rebased ids). Used to roll a run-local registry up into a
+// caller-owned one.
 func (r *Registry) Merge(o *Registry) {
 	if o == nil || o == r {
 		return
 	}
-	snap := o.Snapshot()
+	r.MergeSnapshot(o.Snapshot())
+}
+
+// MergeSnapshot folds an exported snapshot into r by the same rules as
+// Merge. It is the fleet-scrape primitive: the pdsd coordinator pulls
+// JSON snapshots from shard processes over the wire and folds them into
+// one registry without ever holding the remote registry itself.
+func (r *Registry) MergeSnapshot(snap Snapshot) {
 	for _, c := range snap.Counters {
 		r.lookupCounterByKey(c.Name).Add(c.Value)
 	}
@@ -300,6 +353,11 @@ func (r *Registry) Merge(o *Registry) {
 		}
 		dst.sum.Add(h.Sum)
 		dst.n.Add(h.Count)
+	}
+	if len(snap.Alerts) > 0 {
+		r.mu.Lock()
+		r.alerts = append(r.alerts, snap.Alerts...)
+		r.mu.Unlock()
 	}
 	r.tracer.importSpans(snap.Spans)
 }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidSeriesName(t *testing.T) {
+	good := []string{
+		"reqs_total",
+		"ns:sub_total",
+		Name("tenant_requests_total", "decision", "admit"),
+		Name("lat_ns", "class", "interactive", "shard", "3"),
+	}
+	for _, n := range good {
+		if err := ValidSeriesName(n); err != nil {
+			t.Errorf("ValidSeriesName(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{
+		"",
+		"9leading",
+		"has-dash",
+		"has.dot",
+		Name("ok_family", "bad-key", "v"),
+		Name("ok_family", "9key", "v"),
+		Name("ok_family", "k", "line\nbreak"),
+		Name("ok_family", "k", `back\slash`),
+	}
+	for _, n := range bad {
+		if err := ValidSeriesName(n); err == nil {
+			t.Errorf("ValidSeriesName(%q) accepted an invalid name", n)
+		}
+	}
+}
+
+func TestPrometheusSanitizesHostileNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad-family.9", "bad-key", `v"quote`).Add(3)
+	r.Gauge("7starts_with_digit").Set(5)
+	r.Histogram("h-ist", []int64{10}, "k", "multi\nline").Observe(4)
+	out := r.Prometheus()
+	for _, want := range []string{
+		`bad_family_9{bad_key="v\"quote"} 3`,
+		"_7starts_with_digit 5",
+		`h_ist_bucket{k="multi\nline",le="10"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No raw reserved characters may survive outside escaped label values.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		if !validFamilyName(name) {
+			t.Errorf("unsanitized family leaked into exposition line %q", line)
+		}
+	}
+}
+
+func TestPrometheusValidNamesPassThrough(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tenant_requests_total", "decision", "admit").Add(2)
+	out := r.Prometheus()
+	if !strings.Contains(out, `tenant_requests_total{decision="admit"} 2`) {
+		t.Fatalf("valid name was altered:\n%s", out)
+	}
+}
+
+func TestParseLabelsRoundTrip(t *testing.T) {
+	name := Name("fam", "b", "2", "a", "1", "c", "x,y=z")
+	_, block := splitName(name)
+	pairs := parseLabels(block)
+	if len(pairs) != 3 {
+		t.Fatalf("parseLabels(%q) = %v", block, pairs)
+	}
+	want := [][2]string{{"a", "1"}, {"b", "2"}, {"c", "x,y=z"}}
+	for i, w := range want {
+		if pairs[i] != w {
+			t.Errorf("pair %d = %v, want %v", i, pairs[i], w)
+		}
+	}
+}

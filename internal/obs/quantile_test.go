@@ -87,6 +87,59 @@ func TestQuantileSkewedTail(t *testing.T) {
 	}
 }
 
+func TestQuantileSingleSampleAndQOne(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", latBounds())
+	h.Observe(42)
+	// A single observation answers every in-range q with its bucket bound.
+	for _, q := range []float64{0.001, 0.5, 0.999, 1.0} {
+		if got, ok := h.Quantile(q); !ok || got != 50 {
+			t.Errorf("Quantile(%v) = %d, %v; want 50", q, got, ok)
+		}
+	}
+}
+
+func TestQuantileNoFiniteBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", nil)
+	h.Observe(7) // lands in overflow, the only bucket
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("histogram with no finite buckets reported a quantile")
+	}
+}
+
+// Merged-registry quantiles must equal the single-registry ground truth:
+// the same observations through one registry and through two merged
+// halves answer every quantile identically.
+func TestQuantileMergedVsSingleGroundTruth(t *testing.T) {
+	whole := NewRegistry()
+	a, b := NewRegistry(), NewRegistry()
+	for i := int64(1); i <= 600; i++ {
+		v := (i * i) % 2200 // deterministic spread across the buckets
+		whole.Histogram("q", latBounds()).Observe(v)
+		if i%2 == 0 {
+			a.Histogram("q", latBounds()).Observe(v)
+		} else {
+			b.Histogram("q", latBounds()).Observe(v)
+		}
+	}
+	merged := NewRegistry()
+	merged.Merge(a)
+	merged.Merge(b)
+	hw := whole.Histogram("q", latBounds())
+	hm := merged.Histogram("q", latBounds())
+	if hw.Count() != hm.Count() || hw.Sum() != hm.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", hm.Count(), hm.Sum(), hw.Count(), hw.Sum())
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0} {
+		gw, okw := hw.Quantile(q)
+		gm, okm := hm.Quantile(q)
+		if gw != gm || okw != okm {
+			t.Errorf("q=%v: merged %d,%v vs single %d,%v", q, gm, okm, gw, okw)
+		}
+	}
+}
+
 func TestQuantileSurvivesMerge(t *testing.T) {
 	a, b := NewRegistry(), NewRegistry()
 	for i := 0; i < 50; i++ {

@@ -32,6 +32,11 @@ const (
 	callPartition = "scn/part"
 	callSnapshot  = "scn/snap"
 	callStop      = "scn/stop"
+	// callTelemetry pulls a live obs snapshot from a running node — the
+	// fleet scrape op. Unlike callSnapshot (the end-of-run report), it is
+	// served mid-collection and returns only the registry, so a
+	// coordinator can poll it on every HTTP scrape.
+	callTelemetry = "scn/tele"
 )
 
 // callTimeout bounds one control round trip; partitionRetries covers the
@@ -155,6 +160,31 @@ func (r *RemoteInfra) Snapshot(shard int) (ShardReport, error) {
 	return rep, nil
 }
 
+// Telemetry pulls shard's live obs snapshot — the fleet scrape
+// primitive. The shard answers from its current registry state, so
+// successive calls see counters move while the run is still going.
+func (r *RemoteInfra) Telemetry(shard int) (obs.Snapshot, error) {
+	reply, err := r.conn.Call(Dest(shard), callTelemetry, nil, callTimeout)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(reply, &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("scenario: telemetry of shard %d: %w", shard, err)
+	}
+	return snap, nil
+}
+
+// Shards returns the fleet width this infra fronts.
+func (r *RemoteInfra) Shards() int { return r.shards }
+
+// Ping answers whether one shard currently responds on the control
+// channel — the /healthz liveness probe.
+func (r *RemoteInfra) Ping(shard int) bool {
+	_, err := r.conn.Call(Dest(shard), callPing, nil, 250*time.Millisecond)
+	return err == nil
+}
+
 // Stop asks every shard process to exit after replying. Errors are
 // ignored: a shard that already died is already stopped.
 func (r *RemoteInfra) Stop() {
@@ -232,6 +262,10 @@ func ServeSSI(conn *transport.TCP, shard int, p Plan, exitAfter int) (ShardRepor
 	})
 	conn.OnCall(callSnapshot, func(netsim.Envelope, []byte) []byte {
 		b, _ := json.Marshal(report())
+		return b
+	})
+	conn.OnCall(callTelemetry, func(netsim.Envelope, []byte) []byte {
+		b, _ := json.Marshal(reg.Snapshot())
 		return b
 	})
 	conn.OnCall(callStop, func(netsim.Envelope, []byte) []byte {

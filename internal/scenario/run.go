@@ -291,9 +291,26 @@ func RunStoreSweep(kind string, stride int) StoreReport {
 // through eviction. The serve report and the obs snapshot both ride the
 // scenario report, so hosting runs export like protocol runs.
 func RunServe(name string, cfg tenant.ServeConfig) Report {
+	return RunServeObserved(name, cfg, nil, nil, nil)
+}
+
+// RunServeObserved is RunServe with the telemetry plane threaded
+// through: tel (created by tenant.ServeObserved when nil) stays
+// scrape-readable for the whole run, reg receives the run's metrics
+// (fresh when nil), and pace stretches virtual arrivals over wall time
+// for live observation. The verdict and report are identical to
+// RunServe's — telemetry never changes the outcome.
+func RunServeObserved(name string, cfg tenant.ServeConfig, reg *obs.Registry, tel *tenant.Telemetry, pace func(atNS int64)) Report {
 	rep := Report{Plan: name, Mode: "serve"}
-	reg := obs.NewRegistry()
-	sr, err := tenant.Serve(cfg, reg)
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if tel != nil {
+		st := tel.Status()
+		st.Plan = name
+		tel.SetStatus(st)
+	}
+	sr, err := tenant.ServeObserved(cfg, reg, tel, pace)
 	if err != nil {
 		rep.Failure = err.Error()
 		return rep

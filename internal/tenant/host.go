@@ -21,6 +21,10 @@ const (
 	// MetricRequests counts requests by admission outcome,
 	// labeled decision=admit|queued|shed|denied|quota.
 	MetricRequests = "tenant_requests_total"
+	// MetricClassRequests is the per-class breakdown of the same stream,
+	// labeled class= and decision= — the series the SLO burn-rate
+	// tracker differentiates over.
+	MetricClassRequests = "tenant_class_requests_total"
 	// MetricLatency is the per-class end-to-end latency histogram
 	// (queue wait + service), labeled class=kv|search|embdb.
 	MetricLatency = "tenant_latency_ns"
@@ -34,6 +38,10 @@ const (
 	MetricProvisions = "tenant_provisions_total"
 	MetricEvictions  = "tenant_evictions_total"
 	MetricReopens    = "tenant_reopens_total"
+	// RAM envelope gauges, refreshed by ObserveGauges at telemetry
+	// sample boundaries.
+	MetricRAMHighWater = "tenant_ram_high_water_bytes"
+	MetricRAMBudget    = "tenant_ram_budget_bytes"
 )
 
 // LatencyBounds is the bucket ladder of MetricLatency: doubling from
@@ -185,6 +193,10 @@ type Host struct {
 	decisions []byte
 	digest    hash.Hash
 	nowNS     int64
+	// attr, when set, receives per-tenant heavy-hitter credit (service
+	// time, sheds, reopen I/O). Nil by default — attribution is a
+	// telemetry concern the host stays agnostic of.
+	attr *Attribution
 }
 
 // NewHost builds a hosting daemon metering into reg (required — the
@@ -259,10 +271,31 @@ func (h *Host) Guard(tenantName string) *acl.Guard {
 	return nil
 }
 
-func (h *Host) note(d Decision) {
+// SetAttribution attaches (or, with nil, detaches) the heavy-hitter
+// accounting plane.
+func (h *Host) SetAttribution(a *Attribution) { h.attr = a }
+
+// ObserveGauges refreshes the scanned-not-maintained gauges: fleet
+// flash wear and the RAM envelope. One pass over every tenant chip's
+// block counters — priced for telemetry sample boundaries (call it from
+// a Window's OnBeforeSample hook), not per-request paths.
+func (h *Host) ObserveGauges() {
+	var w flash.WearStats
+	for _, e := range h.order {
+		w = w.Add(e.chip.WearSummary())
+	}
+	h.reg.Gauge(flash.MetricWearMax).Set(w.Max)
+	h.reg.Gauge(flash.MetricWearMeanMilli).Set(w.MeanMilli())
+	h.reg.Gauge(MetricResident).Set(int64(h.Resident()))
+	h.reg.Gauge(MetricRAMHighWater).Set(int64(h.arena.HighWater()))
+	h.reg.Gauge(MetricRAMBudget).Set(int64(h.arena.Budget()))
+}
+
+func (h *Host) note(d Decision, class Class) {
 	h.decisions = append(h.decisions, byte(d))
 	h.digest.Write([]byte{byte(d)})
 	h.reg.Counter(MetricRequests, "decision", d.String()).Inc()
+	h.reg.Counter(MetricClassRequests, "class", class.String(), "decision", d.String()).Inc()
 }
 
 // resolve returns the tenant's envelope, provisioning one on first
@@ -366,6 +399,7 @@ func (h *Host) makeResident(e *envelope) error {
 		e.everOpened = true
 		return nil
 	}
+	before := e.chip.Stats()
 	rec, err := logstore.Recover(e.chip, nil)
 	if err != nil {
 		return fmt.Errorf("tenant %s: recover: %w", e.name, err)
@@ -376,6 +410,10 @@ func (h *Host) makeResident(e *envelope) error {
 	}
 	e.st = st
 	h.reg.Counter(MetricReopens).Inc()
+	if h.attr != nil {
+		io := e.chip.Stats().Sub(before)
+		h.attr.AddReopenIO(e.name, io.PageReads+io.PageWrites)
+	}
 	return nil
 }
 
@@ -411,14 +449,14 @@ func (h *Host) Do(req Request) (Response, error) {
 	}
 	if !e.guard.Check(q) {
 		resp.Decision = DecisionDenied
-		h.note(DecisionDenied)
+		h.note(DecisionDenied, e.class)
 		return resp, ErrDenied
 	}
 
 	if e.pages >= h.cfg.PageQuota {
 		resp.Decision = DecisionQuota
 		resp.Pages = e.pages
-		h.note(DecisionQuota)
+		h.note(DecisionQuota, e.class)
 		return resp, ErrQuota
 	}
 
@@ -427,7 +465,10 @@ func (h *Host) Do(req Request) (Response, error) {
 	slot, start, ok := cs.admit(now, h.cfg.QueueDepth)
 	if !ok {
 		resp.Decision = DecisionShed
-		h.note(DecisionShed)
+		h.note(DecisionShed, e.class)
+		if h.attr != nil {
+			h.attr.AddShed(e.name)
+		}
 		return resp, ErrShed
 	}
 
@@ -462,10 +503,13 @@ func (h *Host) Do(req Request) (Response, error) {
 	resp.LatencyNS = resp.QueueNS + svc
 	if start == now {
 		resp.Decision = DecisionAdmit
-		h.note(DecisionAdmit)
+		h.note(DecisionAdmit, e.class)
 	} else {
 		resp.Decision = DecisionQueued
-		h.note(DecisionQueued)
+		h.note(DecisionQueued, e.class)
+	}
+	if h.attr != nil {
+		h.attr.AddService(e.name, svc)
 	}
 	h.reg.Histogram(MetricLatency, LatencyBounds(), "class", e.class.String()).Observe(resp.LatencyNS)
 	h.reg.Gauge(MetricQueueDepth, "class", e.class.String()).Set(int64(cs.maxQueue))

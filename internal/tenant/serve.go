@@ -29,6 +29,16 @@ type ServeConfig struct {
 	DenyFrac float64
 	// Host sizes the daemon the schedule lands on.
 	Host HostConfig
+	// WindowNS is the telemetry sampling interval in virtual nanoseconds
+	// (default obs.DefaultWindowEvery); WindowSlots the ring size
+	// (default obs.DefaultWindowSlots).
+	WindowNS    int64
+	WindowSlots int
+	// TopK bounds the heavy-hitter sketches (default 8 tenants per
+	// dimension).
+	TopK int
+	// SLO parameterizes the per-class error budget.
+	SLO SLOConfig
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -54,6 +64,16 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	} else if c.DenyFrac < 0 {
 		c.DenyFrac = 0
 	}
+	if c.WindowNS <= 0 {
+		c.WindowNS = int64(obs.DefaultWindowEvery)
+	}
+	if c.WindowSlots <= 0 {
+		c.WindowSlots = obs.DefaultWindowSlots
+	}
+	if c.TopK <= 0 {
+		c.TopK = 8
+	}
+	c.SLO = c.SLO.withDefaults()
 	return c
 }
 
@@ -100,6 +120,17 @@ type ServeReport struct {
 
 	DecisionDigest string     `json:"decision_digest"`
 	Classes        []ClassSLO `json:"classes"`
+
+	// Telemetry-plane outcome: how many window samples the run took and
+	// the running digest over their canonical encodings — the telemetry
+	// determinism pin (two same-seed runs agree byte-for-byte).
+	WindowSamples int    `json:"window_samples"`
+	WindowDigest  string `json:"window_digest"`
+	// AlertsFired counts the SLO burn alerts the run raised; Burn is the
+	// final per-class budget state; Hot the heavy-hitter rankings.
+	AlertsFired int             `json:"alerts_fired"`
+	Burn        []ClassBurn     `json:"burn,omitempty"`
+	Hot         AttributionView `json:"hot,omitempty"`
 }
 
 // Serve runs one open-loop schedule against a fresh host metering into
@@ -107,9 +138,23 @@ type ServeReport struct {
 // (shed/denied/quota) are part of normal operation; any other error
 // aborts the run.
 func Serve(cfg ServeConfig, reg *obs.Registry) (*ServeReport, error) {
+	return ServeObserved(cfg, reg, nil, nil)
+}
+
+// ServeObserved is Serve with the telemetry plane exposed: tel (created
+// internally when nil) is live-readable while the run executes, and
+// pace, when non-nil, is called with each arrival's virtual instant
+// before it is served — the seam `pdsd serve` uses to stretch virtual
+// time over wall time so an HTTP scrape can watch the run. Neither
+// affects the decision stream or the window digest: pacing delays wall
+// execution, never virtual arrivals.
+func ServeObserved(cfg ServeConfig, reg *obs.Registry, tel *Telemetry, pace func(atNS int64)) (*ServeReport, error) {
 	cfg = cfg.withDefaults()
 	if reg == nil {
 		reg = obs.NewRegistry()
+	}
+	if tel == nil {
+		tel = NewTelemetry(cfg, reg)
 	}
 	gen, err := workload.NewOpenLoop(workload.OpenLoopConfig{
 		Tenants:    cfg.Tenants,
@@ -123,16 +168,32 @@ func Serve(cfg ServeConfig, reg *obs.Registry) (*ServeReport, error) {
 		return nil, err
 	}
 	h := NewHost(cfg.Host, reg)
+	tel.BindHost(h)
 	rep := &ServeReport{
 		Tenants:    cfg.Tenants,
 		Arrivals:   cfg.Arrivals,
 		RatePerSec: cfg.RatePerSec,
 		RAMBudget:  h.arena.Budget(),
 	}
+	status := tel.Status()
+	status.Tenants = cfg.Tenants
+	status.Arrivals = cfg.Arrivals
+	status.Running = true
+	tel.SetStatus(status)
+	fail := func(err error) (*ServeReport, error) {
+		status.Running = false
+		status.OK = false
+		status.Failure = err.Error()
+		tel.SetStatus(status)
+		return nil, err
+	}
 	for {
 		a, ok := gen.Next()
 		if !ok {
 			break
+		}
+		if pace != nil {
+			pace(a.AtNS)
 		}
 		name := fmt.Sprintf("tenant-%04d", a.Tenant)
 		resp, err := h.Do(Request{
@@ -155,12 +216,22 @@ func Serve(cfg ServeConfig, reg *obs.Registry) (*ServeReport, error) {
 		case DecisionQuota:
 			rep.Quota++
 		default:
-			return nil, fmt.Errorf("serve: arrival at %dns: %w", a.AtNS, err)
+			return fail(fmt.Errorf("serve: arrival at %dns: %w", a.AtNS, err))
 		}
 		if resp.EndNS > rep.DurationNS {
 			rep.DurationNS = resp.EndNS
 		}
+		tel.Window.Advance(h.NowNS())
+		status.Done++
+		status.NowNS = h.NowNS()
+		tel.SetStatus(status)
 	}
+	// Final capture: the end-of-run state always lands in the window.
+	endNS := rep.DurationNS
+	if h.NowNS() > endNS {
+		endNS = h.NowNS()
+	}
+	tel.Window.SampleNow(endNS)
 	rep.Provisions = reg.CounterValue(MetricProvisions)
 	rep.Evictions = reg.CounterValue(MetricEvictions)
 	rep.Reopens = reg.CounterValue(MetricReopens)
@@ -183,5 +254,14 @@ func Serve(cfg ServeConfig, reg *obs.Registry) (*ServeReport, error) {
 		}
 		rep.Classes = append(rep.Classes, slo)
 	}
+	rep.WindowSamples = tel.Window.Samples()
+	rep.WindowDigest = tel.Window.Digest()
+	rep.AlertsFired = len(reg.Alerts())
+	rep.Burn = tel.Burn.Burns()
+	rep.Hot = tel.Attr.Top()
+	status.Running = false
+	status.OK = true
+	status.NowNS = endNS
+	tel.SetStatus(status)
 	return rep, nil
 }

@@ -29,6 +29,17 @@ import (
 // microseconds, so hitting this means the switch died.
 const DefaultEchoTimeout = 30 * time.Second
 
+// Receive-side metric families. The send side reuses the netsim counter
+// plane (netsim_messages_total, ...) so both substrates account
+// identically; inbound traffic only exists on this substrate — a node
+// process is the receiving end of forwarded frames — so it gets its own
+// families. A fleet telemetry scrape of an SSI node reads these to see
+// ingest progress mid-run.
+const (
+	MetricFramesReceived = "transport_frames_received_total"
+	MetricBytesReceived  = "transport_bytes_received_total"
+)
+
 // TCPOption configures a dialed transport.
 type TCPOption func(*TCP)
 
@@ -253,6 +264,10 @@ func (t *TCP) dispatch() {
 		e, ok := t.inq.pop()
 		if !ok {
 			return
+		}
+		if reg := t.acct.Observer(); reg != nil {
+			reg.Counter(MetricFramesReceived).Inc()
+			reg.Counter(MetricBytesReceived).Add(int64(len(e.Payload)))
 		}
 		if fn := t.callHandler(e.Kind); fn != nil {
 			t.serveCall(e, fn)

@@ -1,0 +1,85 @@
+package tseries
+
+import (
+	"testing"
+
+	"pds/internal/obs"
+)
+
+func TestObserverMetersWritePath(t *testing.T) {
+	s := testSeries()
+	defer s.Drop()
+	reg := obs.NewRegistry()
+	s.SetObserver(reg)
+	// 512-byte pages hold 30 points plus framing; 1000 points force many
+	// segment flushes, each of which appends one summary record.
+	for i := int64(0); i < 1000; i++ {
+		if err := s.Append(Point{T: i, V: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue(MetricPoints); got != 1000 {
+		t.Errorf("%s = %d, want 1000", MetricPoints, got)
+	}
+	flushes := reg.CounterValue(MetricSegmentFlushes)
+	appends := reg.CounterValue(MetricSummaryAppends)
+	if flushes == 0 || appends == 0 {
+		t.Fatalf("flushes/appends = %d/%d, want both > 0", flushes, appends)
+	}
+	if appends > flushes {
+		t.Errorf("summary appends (%d) exceed segment flushes (%d)", appends, flushes)
+	}
+}
+
+func TestObserverMetersWindowEconomics(t *testing.T) {
+	s := testSeries()
+	defer s.Drop()
+	reg := obs.NewRegistry()
+	s.SetObserver(reg)
+	for i := int64(0); i < 2000; i++ {
+		if err := s.Append(Point{T: i, V: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A wide interior window: mostly summary hits, at most two boundary
+	// segment reads.
+	if _, st, err := s.Window(100, 1900); err != nil {
+		t.Fatal(err)
+	} else if st.SegmentsInside == 0 {
+		t.Fatalf("window answered without summary hits: %+v", st)
+	}
+	if got := reg.CounterValue(MetricWindowQueries); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricWindowQueries, got)
+	}
+	hits := reg.CounterValue(MetricWindowSummaryHits)
+	reads := reg.CounterValue(MetricWindowBoundaryRead)
+	if hits == 0 {
+		t.Error("no summary hits metered")
+	}
+	if reads > 2 {
+		t.Errorf("boundary reads = %d, want <= 2", reads)
+	}
+	if reg.CounterValue(MetricWindowSummaryPages) == 0 {
+		t.Error("no summary pages metered")
+	}
+	// Detach: further work leaves the registry untouched.
+	s.SetObserver(nil)
+	if _, _, err := s.Window(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue(MetricWindowQueries); got != 1 {
+		t.Errorf("detached series still metered: queries = %d", got)
+	}
+	// Every name this package registers renders to valid exposition.
+	for _, c := range reg.Snapshot().Counters {
+		if err := obs.ValidSeriesName(c.Name); err != nil {
+			t.Errorf("invalid series name: %v", err)
+		}
+	}
+}
